@@ -1,0 +1,77 @@
+// Command datagen emits synthetic trajectory datasets to CSV files in the
+// row-per-trajectory format (id,x1,y1,x2,y2,...), for use with tqquery or
+// external tooling.
+//
+// Usage:
+//
+//	datagen -kind taxi -n 10000 -seed 1 -out trips.csv
+//	datagen -kind checkins -n 5000 -out checkins.csv
+//	datagen -kind traces -city bj -n 1000 -out traces.csv
+//	datagen -kind routes -n 200 -stops 32 -out routes.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/trajcover/trajcover/internal/datagen"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "taxi", "dataset kind: taxi|checkins|traces|routes")
+		city  = flag.String("city", "ny", "city model: ny|bj")
+		n     = flag.Int("n", 10000, "number of trajectories/routes")
+		stops = flag.Int("stops", 32, "stops per route (kind=routes)")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	model := datagen.NewYork()
+	if *city == "bj" {
+		model = datagen.Beijing()
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *kind {
+	case "taxi":
+		err := trajectory.WriteCSV(w, datagen.TaxiTrips(model, *n, *seed))
+		if err != nil {
+			fatal(err)
+		}
+	case "checkins":
+		err := trajectory.WriteCSV(w, datagen.Checkins(model, *n, 8, *seed))
+		if err != nil {
+			fatal(err)
+		}
+	case "traces":
+		err := trajectory.WriteCSV(w, datagen.GPSTraces(model, *n, 10, 60, *seed))
+		if err != nil {
+			fatal(err)
+		}
+	case "routes":
+		err := trajectory.WriteFacilitiesCSV(w, datagen.BusRoutes(model, *n, *stops, *seed))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q (want taxi|checkins|traces|routes)", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Command tqbench regenerates the tables and figures of the paper's
+// evaluation section on synthetic stand-in datasets.
+//
+// Usage:
+//
+//	tqbench [-exp fig7a,fig7c] [-scale 0.05] [-psi 300] [-repeats 3] [-seed 1]
+//
+// -exp all (the default) runs every experiment in paper order. -scale is
+// the fraction of the paper-scale dataset cardinalities to generate;
+// scale 1.0 reproduces Table II sizes (slow: the baseline methods are two
+// to three orders of magnitude slower than TQ(Z), which is the point).
+// Output is the same rows/series the paper's figures plot; see
+// EXPERIMENTS.md for a recorded run and the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/trajcover/trajcover/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Float64("scale", 0.02, "fraction of paper-scale dataset sizes")
+		psi     = flag.Float64("psi", 300, "serving distance threshold ψ in meters")
+		repeats = flag.Int("repeats", 3, "timing repetitions (minimum is reported)")
+		seed    = flag.Int64("seed", 1, "data generation seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ids := strings.Split(*exp, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	cfg := bench.Config{Scale: *scale, Psi: *psi, Repeats: *repeats, Seed: *seed}
+	if err := bench.Run(ids, cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tqbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Persistence shows the operational side of the library: simplify raw
+// GPS traces, build an index, snapshot it to disk, restore it in a fresh
+// process, and drill into one route's riders with the reverse range
+// search (ServedUsers).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	trajcover "github.com/trajcover/trajcover"
+)
+
+func main() {
+	city := trajcover.BeijingCity()
+
+	// Raw traces: 3k trips of 20–80 GPS fixes.
+	raw := trajcover.GPSTraces(city, 3000, 20, 80, 31)
+	var rawPoints int
+	for _, t := range raw {
+		rawPoints += t.Len()
+	}
+
+	// Simplify to ~50 m tolerance before indexing (what one would do
+	// with real Geolife data).
+	users, err := trajcover.Simplify(raw, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var simplePoints int
+	for _, t := range users {
+		simplePoints += t.Len()
+	}
+	fmt.Printf("simplified %d traces: %d -> %d points (%.0f%% kept)\n",
+		len(raw), rawPoints, simplePoints, 100*float64(simplePoints)/float64(rawPoints))
+
+	idx, err := trajcover.NewIndex(users, trajcover.IndexOptions{
+		Variant:  trajcover.FullTrajectory,
+		Ordering: trajcover.ZOrdering,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Snapshot to disk.
+	path := filepath.Join(os.TempDir(), "trajcover-demo.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := idx.WriteSnapshot(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	info, _ := os.Stat(path)
+	fmt.Printf("snapshot written: %s (%d KiB)\n", path, info.Size()/1024)
+
+	// Restore — as a fresh process would.
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := trajcover.ReadSnapshot(g)
+	g.Close()
+	os.Remove(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored index with %d trajectories\n\n", restored.Len())
+
+	// Reverse range search on the best route: who exactly rides it?
+	routes := trajcover.BusRoutes(city, 60, 32, 32)
+	q := trajcover.Query{Scenario: trajcover.PointCount, Psi: trajcover.DefaultPsi}
+	top, err := restored.TopK(routes, 1, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := top[0]
+	riders, err := restored.ServedUsers(best.Facility, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("route %d serves %d users (total service %.1f); best-served five:\n",
+		best.Facility.ID, len(riders), best.Service)
+	for i, r := range riders[:min(5, len(riders))] {
+		fmt.Printf("  %d. user %-5d fraction of trip covered %.2f\n", i+1, r.User, r.Value)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

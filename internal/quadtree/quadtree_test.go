@@ -1,0 +1,233 @@
+package quadtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/geo"
+)
+
+func randomItems(n int, seed int64, bounds geo.Rect) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			P: geo.Pt(
+				bounds.MinX+rng.Float64()*bounds.Width(),
+				bounds.MinY+rng.Float64()*bounds.Height(),
+			),
+			Data: uint64(i),
+		}
+	}
+	return items
+}
+
+func collectRect(t *Tree, r geo.Rect) []uint64 {
+	var out []uint64
+	t.SearchRect(r, func(it Item) bool { out = append(out, it.Data); return true })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func collectCircle(t *Tree, c geo.Point, rad float64) []uint64 {
+	var out []uint64
+	t.SearchCircle(c, rad, func(it Item) bool { out = append(out, it.Data); return true })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func bruteRect(items []Item, r geo.Rect) []uint64 {
+	var out []uint64
+	for _, it := range items {
+		if r.Contains(it.P) {
+			out = append(out, it.Data)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func bruteCircle(items []Item, c geo.Point, rad float64) []uint64 {
+	var out []uint64
+	r2 := rad * rad
+	for _, it := range items {
+		if it.P.Dist2(c) <= r2 {
+			out = append(out, it.Data)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSearchRectMatchesBruteForce(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	items := randomItems(5000, 1, bounds)
+	tree := Build(bounds, items, Options{Capacity: 16})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		a := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		b := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		r := geo.NewRect(a, b)
+		got := collectRect(tree, r)
+		want := bruteRect(items, r)
+		if !equalU64(got, want) {
+			t.Fatalf("rect %v: got %d items, want %d", r, len(got), len(want))
+		}
+	}
+}
+
+func TestSearchCircleMatchesBruteForce(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	items := randomItems(5000, 3, bounds)
+	tree := Build(bounds, items, Options{Capacity: 16})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		c := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		rad := rng.Float64() * 200
+		got := collectCircle(tree, c, rad)
+		want := bruteCircle(items, c, rad)
+		if !equalU64(got, want) {
+			t.Fatalf("circle %v r=%v: got %d items, want %d", c, rad, len(got), len(want))
+		}
+	}
+}
+
+func TestInsertIncremental(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	tree := New(bounds, Options{Capacity: 4})
+	items := randomItems(500, 5, bounds)
+	for i, it := range items {
+		tree.Insert(it)
+		if tree.Len() != i+1 {
+			t.Fatalf("Len = %d after %d inserts", tree.Len(), i+1)
+		}
+	}
+	got := collectRect(tree, bounds)
+	if len(got) != 500 {
+		t.Fatalf("full-rect search returned %d items, want 500", len(got))
+	}
+}
+
+func TestDuplicatePointsDoNotBlowUp(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	tree := New(bounds, Options{Capacity: 2, MaxDepth: 8})
+	p := geo.Pt(3.33, 7.77)
+	for i := 0; i < 1000; i++ {
+		tree.Insert(Item{P: p, Data: uint64(i)})
+	}
+	st := tree.Stats()
+	if st.MaxDepth > 8 {
+		t.Errorf("depth %d exceeded MaxDepth 8", st.MaxDepth)
+	}
+	if got := tree.CountCircle(p, 0.001); got != 1000 {
+		t.Errorf("CountCircle at duplicate point = %d, want 1000", got)
+	}
+}
+
+func TestOutOfBoundsPointsClamp(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	tree := New(bounds, Options{})
+	tree.Insert(Item{P: geo.Pt(-5, 50), Data: 42})
+	found := false
+	tree.SearchRect(bounds, func(it Item) bool {
+		if it.Data == 42 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("clamped out-of-bounds item not retrievable")
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	items := randomItems(1000, 6, bounds)
+	tree := Build(bounds, items, Options{})
+	calls := 0
+	tree.SearchRect(bounds, func(Item) bool {
+		calls++
+		return calls < 10
+	})
+	if calls != 10 {
+		t.Errorf("visitor called %d times, want exactly 10", calls)
+	}
+	calls = 0
+	tree.SearchCircle(geo.Pt(50, 50), 1000, func(Item) bool {
+		calls++
+		return calls < 7
+	})
+	if calls != 7 {
+		t.Errorf("circle visitor called %d times, want exactly 7", calls)
+	}
+}
+
+func TestCountCircle(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	tree := New(bounds, Options{})
+	// Ring of 8 points at distance 5 from center plus one at distance 20.
+	c := geo.Pt(50, 50)
+	for i := 0; i < 8; i++ {
+		tree.Insert(Item{P: geo.Pt(50+5, 50), Data: uint64(i)})
+	}
+	tree.Insert(Item{P: geo.Pt(70, 50), Data: 99})
+	if got := tree.CountCircle(c, 5.0); got != 8 {
+		t.Errorf("CountCircle(r=5) = %d, want 8 (boundary inclusive)", got)
+	}
+	if got := tree.CountCircle(c, 25); got != 9 {
+		t.Errorf("CountCircle(r=25) = %d, want 9", got)
+	}
+	if got := tree.CountCircle(c, 1); got != 0 {
+		t.Errorf("CountCircle(r=1) = %d, want 0", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	items := randomItems(2000, 7, bounds)
+	tree := Build(bounds, items, Options{Capacity: 8})
+	st := tree.Stats()
+	if st.Items != 2000 {
+		t.Errorf("Stats.Items = %d, want 2000", st.Items)
+	}
+	if st.Leaves == 0 || st.Nodes < st.Leaves {
+		t.Errorf("implausible stats %+v", st)
+	}
+	// Internal nodes = (Nodes-Leaves); a quadtree has Nodes = 4*internal+1.
+	if st.Nodes != 4*(st.Nodes-st.Leaves)+1 {
+		t.Errorf("node arithmetic broken: %+v", st)
+	}
+}
+
+func TestBuildGrowsBounds(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	items := []Item{{P: geo.Pt(500, 500), Data: 1}, {P: geo.Pt(-10, 3), Data: 2}}
+	tree := Build(bounds, items, Options{})
+	if got := collectRect(tree, tree.Bounds()); len(got) != 2 {
+		t.Errorf("Build lost items outside initial bounds: found %d", len(got))
+	}
+}
+
+func TestEmptyTreeSearches(t *testing.T) {
+	tree := New(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Options{})
+	tree.SearchRect(geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, func(Item) bool {
+		t.Error("visitor called on empty tree")
+		return true
+	})
+	if tree.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+}

@@ -1,0 +1,188 @@
+package query
+
+import (
+	"fmt"
+
+	"github.com/trajcover/trajcover/internal/quadtree"
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// BaselineMode selects how the baseline turns range-query results into
+// service values.
+type BaselineMode int
+
+const (
+	// Literal is the paper's BL as described in Section VI: circular
+	// range queries around every stop retrieve the candidate user
+	// trajectories, then each candidate's service value is recomputed
+	// from scratch (every point against every stop). The rescan is what
+	// makes BL two to three orders of magnitude slower than the TQ-tree
+	// on multipoint workloads.
+	Literal BaselineMode = iota
+	// Masked is an improved baseline this library adds: the range-query
+	// hits themselves populate per-user coverage masks, so no rescan is
+	// needed. It is a much stronger comparison point than the paper's
+	// BL (see EXPERIMENTS.md).
+	Masked
+)
+
+// String implements fmt.Stringer.
+func (m BaselineMode) String() string {
+	if m == Literal {
+		return "literal"
+	}
+	return "masked"
+}
+
+// Baseline is the paper's BL method: user-trajectory points indexed in a
+// traditional point quadtree; for each facility, a circular range query
+// around every stop retrieves the served points or candidate users.
+type Baseline struct {
+	users *trajectory.Set
+	tree  *quadtree.Tree
+	// variant selects the objective translation (ObjectiveFromMask), so
+	// BL answers are comparable with the matching TQ-tree variant.
+	variant tqtree.Variant
+	mode    BaselineMode
+}
+
+// Mode returns the baseline's evaluation mode.
+func (b *Baseline) Mode() BaselineMode { return b.mode }
+
+// SetMode switches between the paper-literal and the masked evaluation.
+func (b *Baseline) SetMode(m BaselineMode) { b.mode = m }
+
+// Users returns the indexed user set.
+func (b *Baseline) Users() *trajectory.Set { return b.users }
+
+// Variant returns the objective-translation variant the baseline answers
+// under.
+func (b *Baseline) Variant() tqtree.Variant { return b.variant }
+
+// NewBaseline indexes every point of every user trajectory in a point
+// quadtree. The returned baseline evaluates in Literal mode (the paper's
+// BL); call SetMode(Masked) for the strengthened variant.
+func NewBaseline(users *trajectory.Set, variant tqtree.Variant) *Baseline {
+	items := make([]quadtree.Item, 0, users.TotalPoints())
+	for _, u := range users.All {
+		for i, p := range u.Points {
+			items = append(items, quadtree.Item{P: p, Data: packRef(u.ID, i)})
+		}
+	}
+	bounds, _ := users.Bounds()
+	return &Baseline{
+		users:   users,
+		tree:    quadtree.Build(bounds, items, quadtree.Options{}),
+		variant: variant,
+	}
+}
+
+func packRef(id trajectory.ID, pointIdx int) uint64 {
+	return uint64(id)<<32 | uint64(uint32(pointIdx))
+}
+
+func unpackRef(data uint64) (trajectory.ID, int) {
+	return trajectory.ID(data >> 32), int(uint32(data))
+}
+
+// Coverage computes the facility's per-user coverage masks by range
+// querying every stop.
+func (b *Baseline) Coverage(f *trajectory.Facility, p Params) (service.Coverage, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	cov := service.Coverage{}
+	for _, stop := range f.Stops {
+		b.tree.SearchCircle(stop, p.Psi, func(it quadtree.Item) bool {
+			id, idx := unpackRef(it.Data)
+			m := cov[id]
+			if m == nil {
+				u := b.users.ByID(id)
+				if u == nil {
+					return true
+				}
+				m = service.NewMask(u.Len())
+				cov[id] = m
+			}
+			m.Set(idx)
+			return true
+		})
+	}
+	return cov, nil
+}
+
+// ServiceValue computes SO(U, f). In Literal mode (the paper's BL) the
+// range queries only identify candidate users, whose service is then
+// recomputed point-by-point against every stop; in Masked mode the
+// range-query hits populate coverage masks directly.
+func (b *Baseline) ServiceValue(f *trajectory.Facility, p Params) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if b.mode == Literal {
+		return b.literalServiceValue(f, p), nil
+	}
+	cov, err := b.Coverage(f, p)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for id, m := range cov {
+		u := b.users.ByID(id)
+		if u == nil {
+			continue
+		}
+		total += ObjectiveFromMask(b.variant, p.Scenario, u, m)
+	}
+	return total, nil
+}
+
+// literalServiceValue is the paper's BL evaluation: collect the ids of
+// users with any point within ψ of any stop, then rescan each candidate
+// in full.
+func (b *Baseline) literalServiceValue(f *trajectory.Facility, p Params) float64 {
+	candidates := map[trajectory.ID]struct{}{}
+	for _, stop := range f.Stops {
+		b.tree.SearchCircle(stop, p.Psi, func(it quadtree.Item) bool {
+			id, _ := unpackRef(it.Data)
+			candidates[id] = struct{}{}
+			return true
+		})
+	}
+	var total float64
+	for id := range candidates {
+		u := b.users.ByID(id)
+		if u == nil {
+			continue
+		}
+		total += ObjectiveFromMask(b.variant, p.Scenario, u, service.MaskOf(u, f.Stops, p.Psi))
+	}
+	return total
+}
+
+// TopK evaluates every facility and returns the k best — the baseline has
+// no pruning, which is exactly why the paper's Figure 7b shows its time
+// independent of k.
+func (b *Baseline) TopK(facilities []*trajectory.Facility, k int, p Params) ([]Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 || len(facilities) == 0 {
+		return nil, nil
+	}
+	if k > len(facilities) {
+		k = len(facilities)
+	}
+	results := make([]Result, 0, len(facilities))
+	for _, f := range facilities {
+		so, err := b.ServiceValue(f, p)
+		if err != nil {
+			return nil, fmt.Errorf("facility %d: %w", f.ID, err)
+		}
+		results = append(results, Result{Facility: f, Service: so})
+	}
+	sortResults(results)
+	return results[:k], nil
+}

@@ -1,0 +1,99 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/datagen"
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// benchSetup builds a 200k-trip workload shared by the package benchmarks.
+type benchEnv struct {
+	users *trajectory.Set
+	fs    []*trajectory.Facility
+	engZ  *Engine
+	engB  *Engine
+	bl    *Baseline
+}
+
+var sharedEnv *benchEnv
+
+func getEnv(b *testing.B) *benchEnv {
+	b.Helper()
+	if sharedEnv != nil {
+		return sharedEnv
+	}
+	city := datagen.NewYork()
+	users := trajectory.MustNewSet(datagen.TaxiTrips(city, 200000, 2))
+	fs := datagen.BusRoutes(city, 128, 32, 5)
+	treeZ, err := tqtree.Build(users.All, tqtree.Options{Variant: tqtree.TwoPoint, Ordering: tqtree.ZOrder})
+	if err != nil {
+		b.Fatal(err)
+	}
+	treeB, err := tqtree.Build(users.All, tqtree.Options{Variant: tqtree.TwoPoint, Ordering: tqtree.Basic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sharedEnv = &benchEnv{
+		users: users,
+		fs:    fs,
+		engZ:  NewEngine(treeZ, users),
+		engB:  NewEngine(treeB, users),
+		bl:    NewBaseline(users, tqtree.TwoPoint),
+	}
+	return sharedEnv
+}
+
+var benchParams = Params{Scenario: service.Binary, Psi: 300}
+
+func BenchmarkTopKZOrder(b *testing.B) {
+	env := getEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.engZ.TopK(env.fs, 8, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKBasic(b *testing.B) {
+	env := getEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.engB.TopK(env.fs, 8, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKBaseline(b *testing.B) {
+	env := getEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.bl.TopK(env.fs, 8, benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServiceValueZOrder(b *testing.B) {
+	env := getEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.engZ.ServiceValue(env.fs[i%len(env.fs)], benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoverageZOrder(b *testing.B) {
+	env := getEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.engZ.Coverage(env.fs[i%len(env.fs)], benchParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package service implements the paper's service-value semantics: how much
+// a facility trajectory (or a set of them) "serves" a user trajectory.
+//
+// Three scenarios are supported (Section II of the paper):
+//
+//   - Binary: S(u,f) = 1 iff both the source and the destination of u are
+//     within ψ of some stop of f (Scenario 1, e.g. commuter pickup and
+//     drop-off).
+//   - PointCount: S(u,f) = scount(u,f)/|u|, the fraction of u's points
+//     within ψ of f's stops (Scenario 2, e.g. POIs a tourist can visit).
+//   - Length: S(u,f) = slength(u,f)/length(u), the fraction of u's length
+//     served; a segment is served when both of its endpoints are within ψ
+//     of stops (Scenario 3, e.g. ad-display duration).
+//
+// For MaxkCovRST the package also implements the combined AGG semantics:
+// a user's points may be covered by different facilities of a set F', and
+// coverage is unioned per point before the scenario formula is applied —
+// exactly the semantics under which the paper proves non-submodularity
+// (a source served by f1 and a destination served by f2 counts).
+package service
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// Scenario selects the service-value semantics.
+type Scenario int
+
+const (
+	// Binary is Scenario 1: served iff source and destination are both
+	// within ψ of the facility's stops.
+	Binary Scenario = iota
+	// PointCount is Scenario 2: fraction of points within ψ.
+	PointCount
+	// Length is Scenario 3: fraction of trajectory length on segments
+	// whose endpoints are both within ψ.
+	Length
+
+	// NumScenarios is the number of scenarios, for sizing arrays.
+	NumScenarios = 3
+)
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string {
+	switch s {
+	case Binary:
+		return "binary"
+	case PointCount:
+		return "pointcount"
+	case Length:
+		return "length"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// Valid reports whether s is a defined scenario.
+func (s Scenario) Valid() bool { return s >= Binary && s <= Length }
+
+// PointServed reports whether p is within psi of any of the stops.
+// This is the dist(p, f) <= ψ predicate of the paper.
+func PointServed(p geo.Point, stops []geo.Point, psi float64) bool {
+	psi2 := psi * psi
+	for _, s := range stops {
+		if p.Dist2(s) <= psi2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Value computes S(u, f) for a single facility given its stop points,
+// by direct scan. It is the reference ("oracle") implementation every
+// index-accelerated path is tested against, and the building block the
+// node-level evaluators use on pruned candidate sets.
+func Value(sc Scenario, u *trajectory.Trajectory, stops []geo.Point, psi float64) float64 {
+	switch sc {
+	case Binary:
+		if PointServed(u.Source(), stops, psi) && PointServed(u.Dest(), stops, psi) {
+			return 1
+		}
+		return 0
+	case PointCount:
+		served := 0
+		for _, p := range u.Points {
+			if PointServed(p, stops, psi) {
+				served++
+			}
+		}
+		return float64(served) / float64(u.Len())
+	case Length:
+		if u.Length() == 0 {
+			return 0
+		}
+		var sl float64
+		prev := PointServed(u.Points[0], stops, psi)
+		for i := 1; i < u.Len(); i++ {
+			cur := PointServed(u.Points[i], stops, psi)
+			if prev && cur {
+				sl += u.SegmentLength(i - 1)
+			}
+			prev = cur
+		}
+		return sl / u.Length()
+	}
+	panic(fmt.Sprintf("service: invalid scenario %d", sc))
+}
+
+// Mask is a per-point coverage bitmap for one user trajectory: bit i is
+// set when point i is within ψ of some stop of the facility (or facility
+// set) under consideration.
+type Mask []uint64
+
+// NewMask returns an all-zero mask sized for n points.
+func NewMask(n int) Mask { return make(Mask, (n+63)/64) }
+
+// Set marks point i covered.
+func (m Mask) Set(i int) { m[i/64] |= 1 << (uint(i) % 64) }
+
+// Get reports whether point i is covered.
+func (m Mask) Get(i int) bool { return m[i/64]>>(uint(i)%64)&1 == 1 }
+
+// Or unions other into m. The masks must be the same size.
+func (m Mask) Or(other Mask) {
+	for i, w := range other {
+		m[i] |= w
+	}
+}
+
+// Count returns the number of covered points.
+func (m Mask) Count() int {
+	n := 0
+	for _, w := range m {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no point is covered.
+func (m Mask) Empty() bool {
+	for _, w := range m {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of m.
+func (m Mask) Clone() Mask {
+	out := make(Mask, len(m))
+	copy(out, m)
+	return out
+}
+
+// MaskOf computes the coverage mask of u against the given stops.
+func MaskOf(u *trajectory.Trajectory, stops []geo.Point, psi float64) Mask {
+	m := NewMask(u.Len())
+	for i, p := range u.Points {
+		if PointServed(p, stops, psi) {
+			m.Set(i)
+		}
+	}
+	return m
+}
+
+// ValueFromMask applies the scenario formula to a coverage mask. For a
+// single facility, ValueFromMask(sc, u, MaskOf(u, stops, ψ)) equals
+// Value(sc, u, stops, ψ); for a facility set it implements the combined
+// AGG semantics over the unioned mask.
+func ValueFromMask(sc Scenario, u *trajectory.Trajectory, m Mask) float64 {
+	switch sc {
+	case Binary:
+		if m.Get(0) && m.Get(u.Len()-1) {
+			return 1
+		}
+		return 0
+	case PointCount:
+		return float64(m.Count()) / float64(u.Len())
+	case Length:
+		if u.Length() == 0 {
+			return 0
+		}
+		var sl float64
+		for i := 0; i < u.NumSegments(); i++ {
+			if m.Get(i) && m.Get(i+1) {
+				sl += u.SegmentLength(i)
+			}
+		}
+		return sl / u.Length()
+	}
+	panic(fmt.Sprintf("service: invalid scenario %d", sc))
+}
+
+// Coverage maps user trajectory IDs to their coverage masks for one
+// facility (or one facility set). Only users with at least one covered
+// point appear.
+type Coverage map[trajectory.ID]Mask
+
+// Merge unions other into c, cloning masks as needed so other remains
+// unmodified.
+func (c Coverage) Merge(other Coverage) {
+	for id, m := range other {
+		if mine, ok := c[id]; ok {
+			mine.Or(m)
+		} else {
+			c[id] = m.Clone()
+		}
+	}
+}
+
+// TotalValue applies the scenario formula to every covered user and sums.
+// users must be the set the coverage was computed against.
+func (c Coverage) TotalValue(sc Scenario, users *trajectory.Set) float64 {
+	var total float64
+	for id, m := range c {
+		u := users.ByID(id)
+		if u == nil {
+			continue
+		}
+		total += ValueFromMask(sc, u, m)
+	}
+	return total
+}
+
+// CombinedValue computes SO(U, F') for a set of per-facility coverages
+// under the AGG union semantics, without mutating the inputs.
+func CombinedValue(sc Scenario, users *trajectory.Set, covs []Coverage) float64 {
+	merged := Coverage{}
+	for _, c := range covs {
+		merged.Merge(c)
+	}
+	return merged.TotalValue(sc, users)
+}
+
+// UsersServed counts the users with a strictly positive service value in
+// the merged coverage — the "# users served" quality metric of Fig 10.
+func UsersServed(sc Scenario, users *trajectory.Set, covs []Coverage) int {
+	merged := Coverage{}
+	for _, c := range covs {
+		merged.Merge(c)
+	}
+	n := 0
+	for id, m := range merged {
+		u := users.ByID(id)
+		if u == nil {
+			continue
+		}
+		if ValueFromMask(sc, u, m) > 0 {
+			n++
+		}
+	}
+	return n
+}

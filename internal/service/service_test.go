@@ -1,0 +1,232 @@
+package service
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+func twoPoint(id trajectory.ID, sx, sy, dx, dy float64) *trajectory.Trajectory {
+	return trajectory.MustNew(id, []geo.Point{geo.Pt(sx, sy), geo.Pt(dx, dy)})
+}
+
+func TestBinaryValue(t *testing.T) {
+	u := twoPoint(1, 0, 0, 10, 0)
+	tests := []struct {
+		name  string
+		stops []geo.Point
+		psi   float64
+		want  float64
+	}{
+		{"both ends near stops", []geo.Point{geo.Pt(0, 1), geo.Pt(10, 1)}, 1.5, 1},
+		{"only source near", []geo.Point{geo.Pt(0, 1)}, 1.5, 0},
+		{"only dest near", []geo.Point{geo.Pt(10, 1)}, 1.5, 0},
+		{"same stop serves both within psi", []geo.Point{geo.Pt(5, 0)}, 5, 1},
+		{"nothing near", []geo.Point{geo.Pt(100, 100)}, 1, 0},
+		{"boundary exactly psi", []geo.Point{geo.Pt(0, 2), geo.Pt(10, 2)}, 2, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Value(Binary, u, tt.stops, tt.psi); got != tt.want {
+				t.Errorf("Value = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPointCountValue(t *testing.T) {
+	u := trajectory.MustNew(1, []geo.Point{
+		geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(20, 0), geo.Pt(30, 0),
+	})
+	// Stops cover points 0 and 2 only.
+	stops := []geo.Point{geo.Pt(0, 1), geo.Pt(20, 1)}
+	if got := Value(PointCount, u, stops, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Value = %v, want 0.5", got)
+	}
+	if got := Value(PointCount, u, stops, 0.5); got != 0 {
+		t.Errorf("Value with tiny psi = %v, want 0", got)
+	}
+	if got := Value(PointCount, u, stops, 1e6); got != 1 {
+		t.Errorf("Value with huge psi = %v, want 1", got)
+	}
+}
+
+func TestLengthValue(t *testing.T) {
+	// Three segments of lengths 10, 20, 30 (total 60).
+	u := trajectory.MustNew(1, []geo.Point{
+		geo.Pt(0, 0), geo.Pt(10, 0), geo.Pt(30, 0), geo.Pt(60, 0),
+	})
+	// Cover points 0,1 -> first segment (length 10) served.
+	stops := []geo.Point{geo.Pt(0, 0), geo.Pt(10, 0)}
+	if got := Value(Length, u, stops, 1); math.Abs(got-10.0/60) > 1e-12 {
+		t.Errorf("Value = %v, want %v", got, 10.0/60)
+	}
+	// Cover points 1,2 -> middle segment (20/60).
+	stops = []geo.Point{geo.Pt(10, 0), geo.Pt(30, 0)}
+	if got := Value(Length, u, stops, 1); math.Abs(got-20.0/60) > 1e-12 {
+		t.Errorf("middle segment = %v, want %v", got, 20.0/60)
+	}
+	// Covering only point 1 serves no segment.
+	stops = []geo.Point{geo.Pt(10, 0)}
+	if got := Value(Length, u, stops, 1); got != 0 {
+		t.Errorf("single covered point = %v, want 0", got)
+	}
+	// All points -> full length.
+	stops = u.Points
+	if got := Value(Length, u, stops, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("all covered = %v, want 1", got)
+	}
+}
+
+func TestLengthValueZeroLengthTrajectory(t *testing.T) {
+	u := trajectory.MustNew(1, []geo.Point{geo.Pt(5, 5), geo.Pt(5, 5)})
+	if got := Value(Length, u, []geo.Point{geo.Pt(5, 5)}, 1); got != 0 {
+		t.Errorf("zero-length trajectory value = %v, want 0", got)
+	}
+}
+
+func TestPointServedBoundaryInclusive(t *testing.T) {
+	if !PointServed(geo.Pt(0, 0), []geo.Point{geo.Pt(3, 4)}, 5) {
+		t.Error("distance exactly psi not served")
+	}
+	if PointServed(geo.Pt(0, 0), []geo.Point{geo.Pt(3, 4)}, 4.999) {
+		t.Error("distance beyond psi served")
+	}
+	if PointServed(geo.Pt(0, 0), nil, 100) {
+		t.Error("empty stop set served a point")
+	}
+}
+
+func TestMaskBasics(t *testing.T) {
+	m := NewMask(130)
+	if !m.Empty() || m.Count() != 0 {
+		t.Error("fresh mask not empty")
+	}
+	m.Set(0)
+	m.Set(64)
+	m.Set(129)
+	if m.Count() != 3 {
+		t.Errorf("Count = %d, want 3", m.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !m.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if m.Get(1) || m.Get(128) {
+		t.Error("unset bit reads true")
+	}
+	if m.Empty() {
+		t.Error("non-empty mask reports Empty")
+	}
+	c := m.Clone()
+	c.Set(5)
+	if m.Get(5) {
+		t.Error("Clone aliases the original")
+	}
+	other := NewMask(130)
+	other.Set(7)
+	m.Or(other)
+	if !m.Get(7) || m.Count() != 4 {
+		t.Error("Or failed")
+	}
+}
+
+func TestMaskOfAndValueFromMaskAgreeWithValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		u := trajectory.MustNew(trajectory.ID(trial), pts)
+		stops := make([]geo.Point, 1+rng.Intn(8))
+		for i := range stops {
+			stops[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		psi := rng.Float64() * 30
+		m := MaskOf(u, stops, psi)
+		for _, sc := range []Scenario{Binary, PointCount, Length} {
+			direct := Value(sc, u, stops, psi)
+			viaMask := ValueFromMask(sc, u, m)
+			if math.Abs(direct-viaMask) > 1e-12 {
+				t.Fatalf("%v: direct %v != viaMask %v", sc, direct, viaMask)
+			}
+		}
+	}
+}
+
+func TestCoverageMergeAndCombinedValue(t *testing.T) {
+	// A user whose source is covered by f1 and dest by f2: combined AGG
+	// semantics must count it as served in Binary — the paper's
+	// non-submodularity construction.
+	u := twoPoint(1, 0, 0, 100, 0)
+	users := trajectory.MustNewSet([]*trajectory.Trajectory{u})
+	f1stops := []geo.Point{geo.Pt(0, 1)}   // covers source only
+	f2stops := []geo.Point{geo.Pt(100, 1)} // covers dest only
+	psi := 2.0
+	cov1 := Coverage{1: MaskOf(u, f1stops, psi)}
+	cov2 := Coverage{1: MaskOf(u, f2stops, psi)}
+
+	if v := cov1.TotalValue(Binary, users); v != 0 {
+		t.Errorf("f1 alone = %v, want 0", v)
+	}
+	if v := cov2.TotalValue(Binary, users); v != 0 {
+		t.Errorf("f2 alone = %v, want 0", v)
+	}
+	if v := CombinedValue(Binary, users, []Coverage{cov1, cov2}); v != 1 {
+		t.Errorf("combined = %v, want 1 (joint service)", v)
+	}
+	if n := UsersServed(Binary, users, []Coverage{cov1, cov2}); n != 1 {
+		t.Errorf("UsersServed = %d, want 1", n)
+	}
+	if n := UsersServed(Binary, users, []Coverage{cov1}); n != 0 {
+		t.Errorf("UsersServed f1 alone = %d, want 0", n)
+	}
+}
+
+func TestCoverageMergeDoesNotMutateInputs(t *testing.T) {
+	u := twoPoint(1, 0, 0, 10, 0)
+	a := Coverage{1: MaskOf(u, []geo.Point{geo.Pt(0, 0)}, 1)}
+	b := Coverage{1: MaskOf(u, []geo.Point{geo.Pt(10, 0)}, 1)}
+	before := b[1].Count()
+	merged := Coverage{}
+	merged.Merge(a)
+	merged.Merge(b)
+	if b[1].Count() != before {
+		t.Error("Merge mutated its input")
+	}
+	if merged[1].Count() != 2 {
+		t.Errorf("merged count = %d, want 2", merged[1].Count())
+	}
+}
+
+func TestCombinedValueNoDoubleCounting(t *testing.T) {
+	// Two facilities covering the same points must not double the value.
+	u := trajectory.MustNew(1, []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0), geo.Pt(2, 0), geo.Pt(3, 0)})
+	users := trajectory.MustNewSet([]*trajectory.Trajectory{u})
+	stops := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}
+	cov := Coverage{1: MaskOf(u, stops, 0.1)}
+	covDup := Coverage{1: MaskOf(u, stops, 0.1)}
+	single := CombinedValue(PointCount, users, []Coverage{cov})
+	double := CombinedValue(PointCount, users, []Coverage{cov, covDup})
+	if math.Abs(single-double) > 1e-12 {
+		t.Errorf("duplicate coverage changed value: %v vs %v", single, double)
+	}
+	if math.Abs(single-0.5) > 1e-12 {
+		t.Errorf("value = %v, want 0.5", single)
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	if Binary.String() != "binary" || PointCount.String() != "pointcount" || Length.String() != "length" {
+		t.Error("Scenario.String broken")
+	}
+	if !Binary.Valid() || Scenario(9).Valid() {
+		t.Error("Scenario.Valid broken")
+	}
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"sort"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// stopGridThreshold is the component size above which StopSet builds a
+// grid; below it a linear scan is faster than the indexing.
+const stopGridThreshold = 48
+
+// StopSet answers "is this point within ψ of any stop?" for a fixed stop
+// set. For small sets it scans linearly; for larger sets it buckets the
+// stops into a uniform grid with ψ-sized cells, stored as two sorted
+// parallel arrays (cell key → stop index) so a query probes the 3×3
+// neighborhood of the point's cell with binary searches and no per-query
+// allocation. The node-level evaluators build one StopSet per ⟨q-node,
+// component⟩ evaluation and reuse it for every surviving candidate.
+type StopSet struct {
+	stops []geo.Point
+	psi   float64
+	psi2  float64
+
+	// Grid fields; keys is nil in linear mode. keys is sorted and
+	// parallel to order: stops[order[i]] lies in cell keys[i].
+	keys       []uint64
+	order      []int32
+	minX, minY float64
+	invCell    float64
+}
+
+// NewStopSet prepares a membership structure over stops for threshold psi.
+func NewStopSet(stops []geo.Point, psi float64) *StopSet {
+	return NewStopSetHint(stops, psi, 1<<30)
+}
+
+// NewStopSetHint is NewStopSet with an estimate of how many Served
+// queries the set will answer; building the grid costs a few linear
+// scans, so few expected queries keep the cheaper linear mode.
+func NewStopSetHint(stops []geo.Point, psi float64, expectedQueries int) *StopSet {
+	s := &StopSet{stops: stops, psi: psi, psi2: psi * psi}
+	if len(stops) < stopGridThreshold || psi <= 0 || expectedQueries < 16 {
+		return s
+	}
+	r := geo.RectOf(stops)
+	s.minX, s.minY = r.MinX, r.MinY
+	s.invCell = 1 / psi
+	s.keys = make([]uint64, len(stops))
+	s.order = make([]int32, len(stops))
+	for i, st := range stops {
+		s.keys[i] = s.cellKey(st.X, st.Y)
+		s.order[i] = int32(i)
+	}
+	sort.Sort(gridSorter{s})
+	return s
+}
+
+// gridSorter sorts keys and order together.
+type gridSorter struct{ s *StopSet }
+
+func (g gridSorter) Len() int           { return len(g.s.keys) }
+func (g gridSorter) Less(i, j int) bool { return g.s.keys[i] < g.s.keys[j] }
+func (g gridSorter) Swap(i, j int) {
+	g.s.keys[i], g.s.keys[j] = g.s.keys[j], g.s.keys[i]
+	g.s.order[i], g.s.order[j] = g.s.order[j], g.s.order[i]
+}
+
+// cellKey maps coordinates to a packed grid-cell key. Negative cell
+// indexes (points slightly outside the stop MBR) are fine: the int32
+// cast preserves distinctness.
+func (s *StopSet) cellKey(x, y float64) uint64 {
+	cx := int32(fastFloor((x - s.minX) * s.invCell))
+	cy := int32(fastFloor((y - s.minY) * s.invCell))
+	return packCell(cx, cy)
+}
+
+func packCell(cx, cy int32) uint64 {
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+func fastFloor(v float64) int64 {
+	i := int64(v)
+	if v < 0 && float64(i) != v {
+		i--
+	}
+	return i
+}
+
+// Psi returns the threshold the set was built for.
+func (s *StopSet) Psi() float64 { return s.psi }
+
+// Stops returns the underlying stop points (read-only).
+func (s *StopSet) Stops() []geo.Point { return s.stops }
+
+// Served reports whether p is within ψ of any stop.
+func (s *StopSet) Served(p geo.Point) bool {
+	if s.keys == nil {
+		return PointServed(p, s.stops, s.psi)
+	}
+	cx := int32(fastFloor((p.X - s.minX) * s.invCell))
+	cy := int32(fastFloor((p.Y - s.minY) * s.invCell))
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			key := packCell(cx+dx, cy+dy)
+			i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= key })
+			for ; i < len(s.keys) && s.keys[i] == key; i++ {
+				if p.Dist2(s.stops[s.order[i]]) <= s.psi2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ValueSet is Value with the stop-membership test delegated to a StopSet.
+func ValueSet(sc Scenario, u *trajectory.Trajectory, ss *StopSet) float64 {
+	switch sc {
+	case Binary:
+		if ss.Served(u.Source()) && ss.Served(u.Dest()) {
+			return 1
+		}
+		return 0
+	case PointCount:
+		served := 0
+		for _, p := range u.Points {
+			if ss.Served(p) {
+				served++
+			}
+		}
+		return float64(served) / float64(u.Len())
+	case Length:
+		if u.Length() == 0 {
+			return 0
+		}
+		var sl float64
+		prev := ss.Served(u.Points[0])
+		for i := 1; i < u.Len(); i++ {
+			cur := ss.Served(u.Points[i])
+			if prev && cur {
+				sl += u.SegmentLength(i - 1)
+			}
+			prev = cur
+		}
+		return sl / u.Length()
+	}
+	panic("service: invalid scenario")
+}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+func TestStopSetServedMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		// Alternate between linear (small) and gridded (large) sets.
+		n := 3
+		if trial%2 == 0 {
+			n = stopGridThreshold + rng.Intn(200)
+		}
+		stops := make([]geo.Point, n)
+		for i := range stops {
+			stops[i] = geo.Pt(rng.Float64()*5000, rng.Float64()*5000)
+		}
+		psi := 50 + rng.Float64()*400
+		ss := NewStopSet(stops, psi)
+		if n >= stopGridThreshold && ss.keys == nil {
+			t.Fatal("large stop set did not build a grid")
+		}
+		for probe := 0; probe < 500; probe++ {
+			// Bias probes near stops so both outcomes are exercised,
+			// including boundary-ish distances.
+			var p geo.Point
+			switch probe % 3 {
+			case 0:
+				p = geo.Pt(rng.Float64()*5000, rng.Float64()*5000)
+			case 1:
+				s := stops[rng.Intn(n)]
+				p = geo.Pt(s.X+rng.NormFloat64()*psi, s.Y+rng.NormFloat64()*psi)
+			default:
+				s := stops[rng.Intn(n)]
+				ang := rng.Float64() * 2 * math.Pi
+				p = geo.Pt(s.X+math.Cos(ang)*psi*0.999, s.Y+math.Sin(ang)*psi*0.999)
+			}
+			if got, want := ss.Served(p), PointServed(p, stops, psi); got != want {
+				t.Fatalf("trial %d: Served(%v) = %v, linear = %v (n=%d psi=%v)",
+					trial, p, got, want, n, psi)
+			}
+		}
+	}
+}
+
+func TestValueSetMatchesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 100; trial++ {
+		npts := 2 + rng.Intn(10)
+		pts := make([]geo.Point, npts)
+		for i := range pts {
+			pts[i] = geo.Pt(rng.Float64()*2000, rng.Float64()*2000)
+		}
+		u := trajectory.MustNew(trajectory.ID(trial), pts)
+		nstops := 1 + rng.Intn(80)
+		stops := make([]geo.Point, nstops)
+		for i := range stops {
+			stops[i] = geo.Pt(rng.Float64()*2000, rng.Float64()*2000)
+		}
+		psi := 30 + rng.Float64()*300
+		ss := NewStopSet(stops, psi)
+		for sc := Binary; sc <= Length; sc++ {
+			a := Value(sc, u, stops, psi)
+			b := ValueSet(sc, u, ss)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("%v: Value %v != ValueSet %v (stops=%d)", sc, a, b, nstops)
+			}
+		}
+	}
+}
+
+func TestStopSetPointsOutsideGridBounds(t *testing.T) {
+	// Stops clustered in a corner; probes far outside the stop MBR must
+	// not panic and must report false (or true within psi).
+	stops := make([]geo.Point, 64)
+	for i := range stops {
+		stops[i] = geo.Pt(float64(i%8)*10, float64(i/8)*10)
+	}
+	ss := NewStopSet(stops, 25)
+	if ss.Served(geo.Pt(1e7, -1e7)) {
+		t.Error("far point reported served")
+	}
+	if !ss.Served(geo.Pt(-20, -15)) {
+		t.Error("point within psi below origin not served")
+	}
+}
+
+func TestStopSetEmptyAndZeroPsi(t *testing.T) {
+	ss := NewStopSet(nil, 100)
+	if ss.Served(geo.Pt(0, 0)) {
+		t.Error("empty stop set served a point")
+	}
+	stops := []geo.Point{geo.Pt(5, 5)}
+	zero := NewStopSet(stops, 0)
+	if !zero.Served(geo.Pt(5, 5)) {
+		t.Error("zero psi did not serve the exact stop location")
+	}
+	if zero.Served(geo.Pt(5.001, 5)) {
+		t.Error("zero psi served a displaced point")
+	}
+}
+
+func TestStopSetAccessors(t *testing.T) {
+	stops := []geo.Point{geo.Pt(1, 2), geo.Pt(3, 4)}
+	ss := NewStopSet(stops, 42)
+	if ss.Psi() != 42 || len(ss.Stops()) != 2 {
+		t.Error("accessors broken")
+	}
+}

@@ -1,0 +1,142 @@
+package tqtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+func TestDeleteRemovesEntries(t *testing.T) {
+	users := randTrajectories(300, 5, 61, testBounds)
+	for _, opts := range allConfigs() {
+		opts.Bounds = testBounds
+		t.Run(opts.Variant.String()+"/"+opts.Ordering.String(), func(t *testing.T) {
+			tree, err := Build(users, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Delete every other trajectory.
+			for i := 0; i < len(users); i += 2 {
+				if !tree.Delete(users[i]) {
+					t.Fatalf("Delete(%d) did not find all entries", users[i].ID)
+				}
+			}
+			if err := tree.CheckInvariantsAfterDelete(); err != nil {
+				t.Fatal(err)
+			}
+			if tree.NumTrajectories() != len(users)/2 {
+				t.Errorf("NumTrajectories = %d, want %d", tree.NumTrajectories(), len(users)/2)
+			}
+			// Deleting again must report not-found.
+			if tree.Delete(users[0]) {
+				t.Error("second Delete reported success")
+			}
+		})
+	}
+}
+
+// CheckInvariantsAfterDelete relaxes the exact-count check (numEntries is
+// tracked) but keeps structure and bound consistency.
+func (t *Tree) CheckInvariantsAfterDelete() error {
+	return t.CheckInvariants()
+}
+
+func TestDeleteMatchesFreshBuild(t *testing.T) {
+	users := randTrajectories(400, 2, 62, testBounds)
+	opts := Options{Variant: TwoPoint, Ordering: ZOrder, Beta: 8, Bounds: testBounds}
+	tree, err := Build(users, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users[:200] {
+		if !tree.Delete(u) {
+			t.Fatalf("Delete(%d) failed", u.ID)
+		}
+	}
+	fresh, err := Build(users[200:], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Service upper bounds and entry totals must match the fresh tree.
+	if tree.NumEntries() != fresh.NumEntries() {
+		t.Errorf("entries = %d, fresh = %d", tree.NumEntries(), fresh.NumEntries())
+	}
+	for sc := service.Binary; sc <= service.Length; sc++ {
+		a, b := tree.Root().TreeUB(sc), fresh.Root().TreeUB(sc)
+		if math.Abs(a-b) > 1e-6*(1+b) {
+			t.Errorf("treeUB[%v] = %v, fresh = %v", sc, a, b)
+		}
+	}
+	// Every surviving entry must still be served identically: compare
+	// candidate sets for a probe EMBR.
+	stops := randStops(10, 63, testBounds)
+	embr := geo.RectOf(stops).Expand(40)
+	got := collectCandidates(tree, embr, NeedBoth)
+	want := collectCandidates(fresh, embr, NeedBoth)
+	if len(got) != len(want) {
+		t.Errorf("candidates after delete = %d users, fresh = %d", len(got), len(want))
+	}
+	for id := range want {
+		if len(got[id]) != len(want[id]) {
+			t.Errorf("user %d candidate entries differ", id)
+		}
+	}
+}
+
+func TestDeleteInterleavedWithInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	opts := Options{Variant: Segmented, Ordering: ZOrder, Beta: 8, Bounds: testBounds}
+	tree, err := Build(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[trajectory.ID]*trajectory.Trajectory{}
+	nextID := trajectory.ID(0)
+	for step := 0; step < 2000; step++ {
+		if rng.Float64() < 0.6 || len(live) == 0 {
+			u := randTrajectories(1, 4, int64(step)+1000, testBounds)[0]
+			u = trajectory.MustNew(nextID, u.Points)
+			nextID++
+			tree.Insert(u)
+			live[u.ID] = u
+		} else {
+			// Delete a random live trajectory.
+			for id, u := range live {
+				if !tree.Delete(u) {
+					t.Fatalf("step %d: Delete(%d) failed", step, id)
+				}
+				delete(live, id)
+				break
+			}
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	wantEntries := 0
+	for _, u := range live {
+		wantEntries += u.NumSegments()
+	}
+	if tree.NumEntries() != wantEntries {
+		t.Errorf("NumEntries = %d, want %d", tree.NumEntries(), wantEntries)
+	}
+}
+
+func TestDeleteUnknownTrajectory(t *testing.T) {
+	users := randTrajectories(50, 2, 65, testBounds)
+	tree, err := Build(users, Options{Variant: TwoPoint, Ordering: ZOrder, Bounds: testBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost := trajectory.MustNew(9999, []geo.Point{geo.Pt(1, 1), geo.Pt(2, 2)})
+	if tree.Delete(ghost) {
+		t.Error("Delete of unknown trajectory reported success")
+	}
+	if tree.NumTrajectories() != 50 {
+		t.Error("unknown delete changed trajectory count")
+	}
+}

@@ -1,0 +1,281 @@
+package tqtree
+
+import (
+	"sort"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/zorder"
+)
+
+// FilterMode selects the candidate predicate zReduce applies to entries
+// against a facility component's EMBR. Which mode is correct depends on
+// the index variant and query scenario; see Tree.FilterModeFor.
+type FilterMode int
+
+const (
+	// NeedBoth: an entry can only be served if both its first and last
+	// point lie inside the EMBR (Binary service; Length over segments).
+	NeedBoth FilterMode = iota
+	// NeedAny: an entry can contribute if either endpoint lies inside
+	// the EMBR (PointCount over two-point or segment entries).
+	NeedAny
+	// NeedOverlap: an entry can contribute if its MBR intersects the
+	// EMBR (multipoint whole-trajectory entries, where interior points
+	// may be served).
+	NeedOverlap
+)
+
+func entryMatches(e *Entry, embr geo.Rect, mode FilterMode) bool {
+	switch mode {
+	case NeedBoth:
+		return embr.Contains(e.First()) && embr.Contains(e.Last())
+	case NeedAny:
+		return embr.Contains(e.First()) || embr.Contains(e.Last())
+	case NeedOverlap:
+		return embr.Intersects(e.MBR())
+	}
+	panic("tqtree: invalid filter mode")
+}
+
+// entryList abstracts the per-node trajectory list. The Basic ordering
+// stores a flat slice (the paper's TQ(B)); the ZOrder ordering keeps
+// entries sorted by (start z-id, end z-id) in β-sized buckets — the
+// paper's z-nodes — enabling bucket-level pruning (TQ(Z)).
+type entryList interface {
+	add(e Entry)
+	len() int
+	// forEach visits every entry; stops early if fn returns false.
+	forEach(fn func(Entry) bool)
+	// candidates visits entries that pass the zReduce pruning for the
+	// given EMBR. ivs is the Morton-code interval cover of the EMBR in
+	// the tree's root space (used only by the z-ordered list, and only
+	// for modes that pin the start point inside the EMBR; may be nil
+	// otherwise).
+	candidates(embr geo.Rect, ivs []zorder.Interval, mode FilterMode, fn func(*Entry))
+	// drain returns the entries and empties the list (used when a leaf
+	// splits).
+	drain() []Entry
+	// remove deletes the entry matching e's identity (trajectory ID and
+	// segment index), reporting whether it was present.
+	remove(e *Entry) bool
+}
+
+// basicList is the flat, unordered list of TQ-tree Basic.
+type basicList struct {
+	entries []Entry
+}
+
+func newBasicList(entries []Entry) *basicList {
+	return &basicList{entries: entries}
+}
+
+func (l *basicList) add(e Entry) { l.entries = append(l.entries, e) }
+
+func (l *basicList) len() int { return len(l.entries) }
+
+func (l *basicList) forEach(fn func(Entry) bool) {
+	for _, e := range l.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+func (l *basicList) candidates(embr geo.Rect, _ []zorder.Interval, mode FilterMode, fn func(*Entry)) {
+	for i := range l.entries {
+		if entryMatches(&l.entries[i], embr, mode) {
+			fn(&l.entries[i])
+		}
+	}
+}
+
+func (l *basicList) drain() []Entry {
+	out := l.entries
+	l.entries = nil
+	return out
+}
+
+// zBucket is one z-node: up to β entries, consecutive in (startCode,
+// endCode) order, with cached aggregates for bucket-level pruning.
+type zBucket struct {
+	entries  []Entry
+	minStart uint64
+	maxStart uint64
+	startMBR geo.Rect // MBR of first points
+	endMBR   geo.Rect // MBR of last points
+	fullMBR  geo.Rect // union of entry MBRs
+}
+
+func newZBucket(entries []Entry) *zBucket {
+	b := &zBucket{entries: entries}
+	b.recompute()
+	return b
+}
+
+func (b *zBucket) recompute() {
+	if len(b.entries) == 0 {
+		return
+	}
+	e0 := b.entries[0]
+	b.minStart, b.maxStart = e0.startCode, e0.startCode
+	f, l := e0.First(), e0.Last()
+	b.startMBR = geo.NewRect(f, f)
+	b.endMBR = geo.NewRect(l, l)
+	b.fullMBR = e0.MBR()
+	for _, e := range b.entries[1:] {
+		b.extendAggregates(e)
+	}
+}
+
+func (b *zBucket) extendAggregates(e Entry) {
+	if e.startCode < b.minStart {
+		b.minStart = e.startCode
+	}
+	if e.startCode > b.maxStart {
+		b.maxStart = e.startCode
+	}
+	b.startMBR = b.startMBR.ExtendPoint(e.First())
+	b.endMBR = b.endMBR.ExtendPoint(e.Last())
+	b.fullMBR = b.fullMBR.ExtendRect(e.MBR())
+}
+
+// survives reports whether the bucket can contain candidates for the EMBR
+// under the given mode — the bucket-granularity half of zReduce.
+func (b *zBucket) survives(embr geo.Rect, mode FilterMode) bool {
+	switch mode {
+	case NeedBoth:
+		return embr.Intersects(b.startMBR) && embr.Intersects(b.endMBR)
+	case NeedAny:
+		return embr.Intersects(b.startMBR) || embr.Intersects(b.endMBR)
+	case NeedOverlap:
+		return embr.Intersects(b.fullMBR)
+	}
+	panic("tqtree: invalid filter mode")
+}
+
+// zList is the z-ordered bucket list of TQ-tree Z-order.
+type zList struct {
+	buckets []*zBucket
+	beta    int
+	size    int
+}
+
+func entryLess(a, b Entry) bool {
+	if a.startCode != b.startCode {
+		return a.startCode < b.startCode
+	}
+	return a.endCode < b.endCode
+}
+
+func newZList(entries []Entry, beta int) *zList {
+	sorted := append([]Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool { return entryLess(sorted[i], sorted[j]) })
+	l := &zList{beta: beta, size: len(sorted)}
+	for len(sorted) > 0 {
+		n := beta
+		if n > len(sorted) {
+			n = len(sorted)
+		}
+		l.buckets = append(l.buckets, newZBucket(sorted[:n:n]))
+		sorted = sorted[n:]
+	}
+	return l
+}
+
+func (l *zList) len() int { return l.size }
+
+func (l *zList) add(e Entry) {
+	l.size++
+	if len(l.buckets) == 0 {
+		l.buckets = append(l.buckets, newZBucket([]Entry{e}))
+		return
+	}
+	// First bucket whose maxStart >= e.startCode keeps bucket start-code
+	// ranges disjoint and ordered.
+	i := sort.Search(len(l.buckets), func(i int) bool {
+		return l.buckets[i].maxStart >= e.startCode
+	})
+	if i == len(l.buckets) {
+		i = len(l.buckets) - 1
+	}
+	b := l.buckets[i]
+	pos := sort.Search(len(b.entries), func(j int) bool {
+		return !entryLess(b.entries[j], e)
+	})
+	b.entries = append(b.entries, Entry{})
+	copy(b.entries[pos+1:], b.entries[pos:])
+	b.entries[pos] = e
+	b.extendAggregates(e)
+	if len(b.entries) > l.beta {
+		l.splitBucket(i)
+	}
+}
+
+func (l *zList) splitBucket(i int) {
+	b := l.buckets[i]
+	mid := len(b.entries) / 2
+	right := newZBucket(append([]Entry(nil), b.entries[mid:]...))
+	b.entries = b.entries[:mid]
+	b.recompute()
+	l.buckets = append(l.buckets, nil)
+	copy(l.buckets[i+2:], l.buckets[i+1:])
+	l.buckets[i+1] = right
+}
+
+func (l *zList) forEach(fn func(Entry) bool) {
+	for _, b := range l.buckets {
+		for _, e := range b.entries {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+func (l *zList) candidates(embr geo.Rect, ivs []zorder.Interval, mode FilterMode, fn func(*Entry)) {
+	if mode != NeedBoth || len(ivs) == 0 {
+		for _, b := range l.buckets {
+			l.scanBucket(b, embr, mode, fn)
+		}
+		return
+	}
+	// Candidates must have their start point inside the EMBR, and any
+	// point inside a rectangle has a Morton code inside the interval
+	// cover of the rectangle — so only buckets whose start-code range
+	// overlaps some interval can match. Buckets are visited at most
+	// once: the cursor bi only moves forward.
+	bi := 0
+	for _, iv := range ivs {
+		for bi < len(l.buckets) && l.buckets[bi].maxStart < iv.Lo {
+			bi++
+		}
+		for bi < len(l.buckets) && l.buckets[bi].minStart <= iv.Hi {
+			l.scanBucket(l.buckets[bi], embr, mode, fn)
+			bi++
+		}
+		if bi == len(l.buckets) {
+			return
+		}
+	}
+}
+
+func (l *zList) scanBucket(b *zBucket, embr geo.Rect, mode FilterMode, fn func(*Entry)) {
+	if !b.survives(embr, mode) {
+		return
+	}
+	for i := range b.entries {
+		if entryMatches(&b.entries[i], embr, mode) {
+			fn(&b.entries[i])
+		}
+	}
+}
+
+func (l *zList) drain() []Entry {
+	out := make([]Entry, 0, l.size)
+	for _, b := range l.buckets {
+		out = append(out, b.entries...)
+	}
+	l.buckets = nil
+	l.size = 0
+	return out
+}

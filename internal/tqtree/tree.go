@@ -1,0 +1,494 @@
+// Package tqtree implements the Trajectory Quadtree (TQ-tree), the paper's
+// core contribution: a quadtree that stores trajectories in both internal
+// and leaf nodes — each trajectory at the lowest node whose children split
+// it — with per-node trajectory lists either kept flat (the TQ(B) baseline
+// form) or bucketed and sorted by Z-order (the full TQ(Z) index).
+//
+// Every q-node carries `sub` upper bounds on the service value obtainable
+// from its subtree, which the best-first kMaxRRST search in
+// internal/query consumes.
+package tqtree
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/trajectory"
+	"github.com/trajcover/trajcover/internal/zorder"
+)
+
+// Variant selects how trajectories are decomposed into stored entries.
+type Variant int
+
+const (
+	// TwoPoint indexes each trajectory by its source and destination
+	// only (the paper's base structure; exact for Binary service).
+	TwoPoint Variant = iota
+	// Segmented stores every segment of every trajectory as its own
+	// entry (the paper's segmented generalization, S-TQ).
+	Segmented
+	// FullTrajectory stores each whole trajectory at the lowest node
+	// fully containing it (the paper's full-trajectory generalization,
+	// F-TQ).
+	FullTrajectory
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case TwoPoint:
+		return "twopoint"
+	case Segmented:
+		return "segmented"
+	case FullTrajectory:
+		return "fulltrajectory"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Ordering selects how each q-node's trajectory list is organized.
+type Ordering int
+
+const (
+	// Basic keeps a flat list per q-node — the paper's TQ(B).
+	Basic Ordering = iota
+	// ZOrder keeps β-sized buckets sorted by (start, end) z-ids — the
+	// paper's TQ(Z).
+	ZOrder
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Basic:
+		return "basic"
+	case ZOrder:
+		return "zorder"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// DefaultBeta is the default bucket/block size β.
+const DefaultBeta = 64
+
+// DefaultMaxDepth bounds quadtree depth.
+const DefaultMaxDepth = 20
+
+// Options configures tree construction.
+type Options struct {
+	Variant  Variant
+	Ordering Ordering
+	// Beta is the paper's β: the block size bounding both leaf lists
+	// (before splitting) and z-node buckets. 0 means DefaultBeta.
+	Beta int
+	// MaxDepth bounds splitting. 0 means DefaultMaxDepth.
+	MaxDepth int
+	// Bounds is the root space. It is extended to cover the data; a
+	// zero Rect derives bounds entirely from the data.
+	Bounds geo.Rect
+}
+
+// Tree is a TQ-tree over a set of user trajectories.
+type Tree struct {
+	opts          Options
+	bounds        geo.Rect
+	root          *Node
+	numTrajs      int
+	numEntries    int
+	hasMultipoint bool
+}
+
+// Node is a q-node of the TQ-tree. Internal nodes hold the inter-node
+// entries (those split by their children); leaves hold intra-node entries.
+type Node struct {
+	rect     geo.Rect
+	depth    int
+	leaf     bool
+	children [4]*Node
+	list     entryList
+	ownUB    [service.NumScenarios]float64
+	treeUB   [service.NumScenarios]float64
+}
+
+// Build constructs a TQ-tree over the given trajectories.
+func Build(users []*trajectory.Trajectory, opts Options) (*Tree, error) {
+	if opts.Beta <= 0 {
+		opts.Beta = DefaultBeta
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = DefaultMaxDepth
+	}
+	if opts.Variant < TwoPoint || opts.Variant > FullTrajectory {
+		return nil, fmt.Errorf("tqtree: invalid variant %d", int(opts.Variant))
+	}
+	if opts.Ordering < Basic || opts.Ordering > ZOrder {
+		return nil, fmt.Errorf("tqtree: invalid ordering %d", int(opts.Ordering))
+	}
+	bounds := opts.Bounds
+	for _, u := range users {
+		bounds = bounds.ExtendRect(u.MBR())
+	}
+	t := &Tree{opts: opts, bounds: bounds}
+	entries := make([]Entry, 0, len(users))
+	for _, u := range users {
+		t.noteTrajectory(u)
+		entries = t.appendEntries(entries, u)
+	}
+	t.numEntries = len(entries)
+	t.root = t.build(bounds, 0, entries)
+	return t, nil
+}
+
+func (t *Tree) noteTrajectory(u *trajectory.Trajectory) {
+	t.numTrajs++
+	if u.Len() > 2 {
+		t.hasMultipoint = true
+	}
+}
+
+func (t *Tree) appendEntries(dst []Entry, u *trajectory.Trajectory) []Entry {
+	switch t.opts.Variant {
+	case Segmented:
+		for i := 0; i < u.NumSegments(); i++ {
+			dst = append(dst, newSegmentEntry(u, i, t.bounds))
+		}
+	default:
+		dst = append(dst, newEntry(u, t.bounds))
+	}
+	return dst
+}
+
+// routingRect returns the rectangle that determines where an entry is
+// stored: source/destination span for TwoPoint, the segment for
+// Segmented, and the full MBR for FullTrajectory.
+func (t *Tree) routingRect(e Entry) geo.Rect {
+	if t.opts.Variant == FullTrajectory {
+		return e.Traj.MBR()
+	}
+	return geo.NewRect(e.First(), e.Last())
+}
+
+// routeQuadrant returns the child quadrant that wholly contains the
+// entry's routing rectangle, or ok=false when the entry must stay at a
+// node with this rect (it is "inter-node" there).
+func (t *Tree) routeQuadrant(rect geo.Rect, e Entry) (q int, ok bool) {
+	rr := t.routingRect(e)
+	q = rect.QuadrantOf(e.First())
+	if rect.Quadrant(q).ContainsRect(rr) {
+		return q, true
+	}
+	return 0, false
+}
+
+func (t *Tree) newList(entries []Entry) entryList {
+	if t.opts.Ordering == ZOrder {
+		return newZList(entries, t.opts.Beta)
+	}
+	return newBasicList(entries)
+}
+
+func (t *Tree) build(rect geo.Rect, depth int, entries []Entry) *Node {
+	n := &Node{rect: rect, depth: depth}
+	if len(entries) <= t.opts.Beta || depth >= t.opts.MaxDepth {
+		n.leaf = true
+		n.list = t.newList(entries)
+		n.recomputeOwnUB()
+		n.treeUB = n.ownUB
+		return n
+	}
+	var stay []Entry
+	var routed [4][]Entry
+	anyRouted := false
+	for _, e := range entries {
+		if q, ok := t.routeQuadrant(rect, e); ok {
+			routed[q] = append(routed[q], e)
+			anyRouted = true
+		} else {
+			stay = append(stay, e)
+		}
+	}
+	if !anyRouted {
+		n.leaf = true
+		n.list = t.newList(entries)
+		n.recomputeOwnUB()
+		n.treeUB = n.ownUB
+		return n
+	}
+	n.list = t.newList(stay)
+	n.recomputeOwnUB()
+	n.treeUB = n.ownUB
+	for q := 0; q < 4; q++ {
+		if len(routed[q]) == 0 {
+			continue
+		}
+		child := t.build(rect.Quadrant(q), depth+1, routed[q])
+		n.children[q] = child
+		for sc := 0; sc < service.NumScenarios; sc++ {
+			n.treeUB[sc] += child.treeUB[sc]
+		}
+	}
+	return n
+}
+
+func (n *Node) recomputeOwnUB() {
+	n.ownUB = [service.NumScenarios]float64{}
+	n.list.forEach(func(e Entry) bool {
+		for sc := 0; sc < service.NumScenarios; sc++ {
+			n.ownUB[sc] += e.ub[sc]
+		}
+		return true
+	})
+}
+
+// Insert adds a user trajectory to the tree. The tree's root space is
+// fixed at Build time; trajectories extending outside it are stored at
+// the root (correct, but degrades pruning — choose Bounds generously for
+// dynamic workloads).
+func (t *Tree) Insert(u *trajectory.Trajectory) {
+	t.noteTrajectory(u)
+	entries := t.appendEntries(nil, u)
+	t.numEntries += len(entries)
+	for _, e := range entries {
+		t.insertEntry(e)
+	}
+}
+
+func (t *Tree) insertEntry(e Entry) {
+	n := t.root
+	for {
+		for sc := 0; sc < service.NumScenarios; sc++ {
+			n.treeUB[sc] += e.ub[sc]
+		}
+		if n.leaf {
+			n.list.add(e)
+			for sc := 0; sc < service.NumScenarios; sc++ {
+				n.ownUB[sc] += e.ub[sc]
+			}
+			if n.list.len() > t.opts.Beta && n.depth < t.opts.MaxDepth {
+				t.splitLeaf(n)
+			}
+			return
+		}
+		q, ok := t.routeQuadrant(n.rect, e)
+		if !ok {
+			n.list.add(e)
+			for sc := 0; sc < service.NumScenarios; sc++ {
+				n.ownUB[sc] += e.ub[sc]
+			}
+			return
+		}
+		if n.children[q] == nil {
+			child := &Node{rect: n.rect.Quadrant(q), depth: n.depth + 1, leaf: true}
+			child.list = t.newList(nil)
+			n.children[q] = child
+		}
+		n = n.children[q]
+	}
+}
+
+// splitLeaf converts an overflowing leaf into an internal node, pushing
+// routable entries into fresh children. If nothing routes down, the node
+// stays a (large) leaf.
+func (t *Tree) splitLeaf(n *Node) {
+	entries := n.list.drain()
+	var stay []Entry
+	var routed [4][]Entry
+	anyRouted := false
+	for _, e := range entries {
+		if q, ok := t.routeQuadrant(n.rect, e); ok {
+			routed[q] = append(routed[q], e)
+			anyRouted = true
+		} else {
+			stay = append(stay, e)
+		}
+	}
+	if !anyRouted {
+		n.list = t.newList(entries)
+		n.recomputeOwnUB()
+		return
+	}
+	n.leaf = false
+	n.list = t.newList(stay)
+	n.recomputeOwnUB()
+	for q := 0; q < 4; q++ {
+		if len(routed[q]) == 0 {
+			continue
+		}
+		n.children[q] = t.build(n.rect.Quadrant(q), n.depth+1, routed[q])
+	}
+}
+
+// Bounds returns the tree's root space.
+func (t *Tree) Bounds() geo.Rect { return t.bounds }
+
+// Root returns the root q-node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Variant returns the decomposition variant the tree was built with.
+func (t *Tree) Variant() Variant { return t.opts.Variant }
+
+// Ordering returns the list ordering the tree was built with.
+func (t *Tree) Ordering() Ordering { return t.opts.Ordering }
+
+// Beta returns the block size β the tree was built with.
+func (t *Tree) Beta() int { return t.opts.Beta }
+
+// NumTrajectories returns the number of user trajectories indexed.
+func (t *Tree) NumTrajectories() int { return t.numTrajs }
+
+// NumEntries returns the number of stored entries (equals trajectories
+// for TwoPoint/FullTrajectory; total segments for Segmented).
+func (t *Tree) NumEntries() int { return t.numEntries }
+
+// HasMultipoint reports whether any indexed trajectory has more than two
+// points.
+func (t *Tree) HasMultipoint() bool { return t.hasMultipoint }
+
+// ErrUnsupported is returned when a scenario cannot be answered exactly
+// by a tree of this variant over the indexed data.
+var ErrUnsupported = errors.New("tqtree: scenario unsupported by index variant for multipoint data")
+
+// ValidateScenario checks that queries under sc are exact on this tree.
+// A TwoPoint tree indexes only source/destination, so over multipoint
+// data it can answer Binary queries only.
+func (t *Tree) ValidateScenario(sc service.Scenario) error {
+	if !sc.Valid() {
+		return fmt.Errorf("tqtree: invalid scenario %d", int(sc))
+	}
+	if t.opts.Variant == TwoPoint && sc != service.Binary && t.hasMultipoint {
+		return fmt.Errorf("%w (variant %v, scenario %v)", ErrUnsupported, t.opts.Variant, sc)
+	}
+	return nil
+}
+
+// FilterModeFor returns the zReduce candidate predicate that is sound for
+// this tree's variant under the given scenario.
+func (t *Tree) FilterModeFor(sc service.Scenario) FilterMode {
+	switch t.opts.Variant {
+	case TwoPoint, Segmented:
+		if sc == service.PointCount {
+			return NeedAny
+		}
+		return NeedBoth
+	default: // FullTrajectory
+		if sc == service.Binary {
+			return NeedBoth
+		}
+		return NeedOverlap
+	}
+}
+
+// AncestorsCanServe reports whether entries stored at proper ancestors of
+// the smallest node containing a facility's EMBR can still contribute
+// service under sc. When false, the best-first search can start at the
+// containing node alone (the paper's containingQNode initialization).
+func (t *Tree) AncestorsCanServe(sc service.Scenario) bool {
+	switch t.opts.Variant {
+	case TwoPoint, Segmented:
+		// Under NeedBoth semantics both endpoints would have to lie
+		// inside the EMBR, hence inside a single child — contradicting
+		// inter-node storage. Under PointCount (NeedAny) a single
+		// endpoint inside the EMBR contributes, and an ancestor-stored
+		// entry can have one endpoint there.
+		return sc == service.PointCount
+	default:
+		// Whole multipoint trajectories can span children while some
+		// points (or even source+destination) fall inside the EMBR.
+		return true
+	}
+}
+
+// NodeCandidates runs the zReduce pruning over n's own list and calls fn
+// for every surviving entry.
+func (t *Tree) NodeCandidates(n *Node, embr geo.Rect, mode FilterMode, fn func(*Entry)) {
+	var ivs []zorder.Interval
+	var buf [coverBudget]zorder.Interval
+	if mode == NeedBoth && t.opts.Ordering == ZOrder {
+		if n.list.len() >= coverMinList {
+			// Decomposing the EMBR into Morton intervals only pays off
+			// when there are enough buckets to skip.
+			ivs = zorder.CoverIntervalsAuto(t.bounds, embr, coverBudget, buf[:0])
+		} else {
+			buf[0] = zorder.Interval{
+				Lo: pointCode(t.bounds, geo.Point{X: embr.MinX, Y: embr.MinY}),
+				Hi: pointCode(t.bounds, geo.Point{X: embr.MaxX, Y: embr.MaxY}),
+			}
+			ivs = buf[:1]
+		}
+	}
+	n.list.candidates(embr, ivs, mode, fn)
+}
+
+// coverBudget bounds the Morton interval decomposition of an EMBR;
+// coverMinList is the node list size below which a single naive
+// corner-to-corner interval is used instead.
+const (
+	coverBudget  = 12
+	coverMinList = 256
+)
+
+// ContainingPath returns the chain of nodes from the root down to the
+// smallest node whose rectangle contains r (the last element is the
+// paper's containingQNode).
+func (t *Tree) ContainingPath(r geo.Rect) []*Node {
+	path := []*Node{t.root}
+	n := t.root
+	for !n.leaf {
+		next := (*Node)(nil)
+		for q := 0; q < 4; q++ {
+			if c := n.children[q]; c != nil && c.rect.ContainsRect(r) {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			break
+		}
+		path = append(path, next)
+		n = next
+	}
+	return path
+}
+
+// pointCode returns the Morton code of p in the given root space.
+func pointCode(bounds geo.Rect, p geo.Point) uint64 {
+	return zorder.PointCode(bounds, p)
+}
+
+// Rect returns the node's cell rectangle.
+func (n *Node) Rect() geo.Rect { return n.rect }
+
+// Depth returns the node's depth (root = 0).
+func (n *Node) Depth() int { return n.depth }
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Child returns the q-th child, which may be nil.
+func (n *Node) Child(q int) *Node { return n.children[q] }
+
+// ListLen returns the number of entries stored at this node itself.
+func (n *Node) ListLen() int { return n.list.len() }
+
+// OwnUB returns the node's own-list service upper bound for sc.
+func (n *Node) OwnUB(sc service.Scenario) float64 { return n.ownUB[sc] }
+
+// TreeUB returns the paper's `sub`: an upper bound on the service value
+// obtainable from the subtree rooted at n (own list included).
+func (n *Node) TreeUB(sc service.Scenario) float64 { return n.treeUB[sc] }
+
+// ForEachEntry visits the node's own entries; stops early when fn
+// returns false.
+func (n *Node) ForEachEntry(fn func(Entry) bool) { n.list.forEach(fn) }
+
+// Walk visits n and every descendant in depth-first order.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for q := 0; q < 4; q++ {
+		if c := n.children[q]; c != nil {
+			c.Walk(fn)
+		}
+	}
+}

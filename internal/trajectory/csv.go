@@ -1,0 +1,125 @@
+package trajectory
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/trajcover/trajcover/internal/geo"
+)
+
+// Trajectory CSV format: one row per trajectory,
+//
+//	id,x1,y1,x2,y2,...
+//
+// Facilities use the same layout (id followed by stop coordinates).
+
+// WriteCSV writes trajectories in the row-per-trajectory CSV format.
+func WriteCSV(w io.Writer, ts []*Trajectory) error {
+	cw := csv.NewWriter(w)
+	for _, t := range ts {
+		if err := cw.Write(pointRow(uint32(t.ID), t.Points)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads trajectories written by WriteCSV.
+func ReadCSV(r io.Reader) ([]*Trajectory, error) {
+	rows, err := readRows(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Trajectory, 0, len(rows))
+	for i, row := range rows {
+		t, err := New(row.id, row.points)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i+1, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// WriteFacilitiesCSV writes facilities in the same row format.
+func WriteFacilitiesCSV(w io.Writer, fs []*Facility) error {
+	cw := csv.NewWriter(w)
+	for _, f := range fs {
+		if err := cw.Write(pointRow(uint32(f.ID), f.Stops)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFacilitiesCSV reads facilities written by WriteFacilitiesCSV.
+func ReadFacilitiesCSV(r io.Reader) ([]*Facility, error) {
+	rows, err := readRows(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Facility, 0, len(rows))
+	for i, row := range rows {
+		f, err := NewFacility(row.id, row.points)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i+1, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func pointRow(id uint32, pts []geo.Point) []string {
+	row := make([]string, 0, 1+2*len(pts))
+	row = append(row, strconv.FormatUint(uint64(id), 10))
+	for _, p := range pts {
+		row = append(row,
+			strconv.FormatFloat(p.X, 'g', -1, 64),
+			strconv.FormatFloat(p.Y, 'g', -1, 64))
+	}
+	return row
+}
+
+type parsedRow struct {
+	id     ID
+	points []geo.Point
+}
+
+func readRows(r io.Reader) ([]parsedRow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // variable-length rows
+	var out []parsedRow
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) < 3 || len(rec)%2 == 0 {
+			return nil, fmt.Errorf("trajectory: row %d has %d fields, want odd count >= 3", line, len(rec))
+		}
+		id64, err := strconv.ParseUint(rec[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: row %d id: %w", line, err)
+		}
+		pts := make([]geo.Point, 0, (len(rec)-1)/2)
+		for i := 1; i < len(rec); i += 2 {
+			x, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trajectory: row %d field %d: %w", line, i, err)
+			}
+			y, err := strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trajectory: row %d field %d: %w", line, i+1, err)
+			}
+			pts = append(pts, geo.Point{X: x, Y: y})
+		}
+		out = append(out, parsedRow{id: ID(id64), points: pts})
+	}
+}

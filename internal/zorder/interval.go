@@ -1,0 +1,153 @@
+package zorder
+
+import (
+	"github.com/trajcover/trajcover/internal/geo"
+)
+
+// Interval is a closed range [Lo, Hi] of Morton point codes.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Contains reports whether code lies in the interval.
+func (iv Interval) Contains(code uint64) bool { return code >= iv.Lo && code <= iv.Hi }
+
+// maxCode is the largest code PointCode can produce (MaxDepth levels).
+const maxCode = 1<<(2*MaxDepth) - 1
+
+// CoverIntervals returns sorted, disjoint Morton-code intervals that
+// together contain the code of every point of bounds∩rect. A rectangle
+// that straddles a major split line of the space has an enormous single
+// [min-corner, max-corner] code range (the Z-curve jumps); decomposing it
+// into per-quadrant intervals lets a z-ordered scan skip the gaps.
+//
+// The cover is computed by iterative deepening: subdivision stops at the
+// finest depth (≤ maxDepth) whose merged cover still fits in
+// maxIntervals intervals, so the result is always a superset of the
+// exact code set (sound for pruning) with balanced granularity. dst is
+// reused when its capacity allows.
+func CoverIntervals(bounds, rect geo.Rect, maxDepth, maxIntervals int, dst []Interval) []Interval {
+	dst = dst[:0]
+	if maxIntervals < 1 {
+		maxIntervals = 1
+	}
+	if maxDepth < 0 {
+		maxDepth = 0
+	}
+	if maxDepth > MaxDepth {
+		maxDepth = MaxDepth
+	}
+	if !bounds.Intersects(rect) {
+		return dst
+	}
+	best := append(dst, Interval{Lo: 0, Hi: maxCode})
+	var scratch []Interval
+	for d := 1; d <= maxDepth; d++ {
+		c := coverer{rect: rect, out: scratch[:0]}
+		c.cover(bounds, 0, uint64(1)<<(2*MaxDepth), d)
+		scratch = c.out
+		if len(scratch) > maxIntervals {
+			break
+		}
+		best = append(best[:0], scratch...)
+		if c.allInside {
+			// Every emitted cell lies inside rect: deeper subdivision
+			// cannot tighten the cover further.
+			break
+		}
+	}
+	return best
+}
+
+// CoverIntervalsAuto computes an interval cover with a single walk at a
+// depth chosen from the rect/bounds size ratio (cells about half the
+// rect's larger side), which keeps both the walk and the interval count
+// small. Budget overruns coarsen into the previous interval (still a
+// sound superset). This is the hot-path variant used by the TQ-tree's
+// zReduce; CoverIntervals is the precision-controlled form.
+func CoverIntervalsAuto(bounds, rect geo.Rect, maxIntervals int, dst []Interval) []Interval {
+	dst = dst[:0]
+	if !bounds.Intersects(rect) {
+		return dst
+	}
+	if maxIntervals < 1 {
+		maxIntervals = 1
+	}
+	size := rect.Width()
+	if rect.Height() > size {
+		size = rect.Height()
+	}
+	span := bounds.Width()
+	if bounds.Height() > span {
+		span = bounds.Height()
+	}
+	depth := 0
+	for d := 0; d < 12; d++ {
+		if span <= size {
+			break
+		}
+		span /= 2
+		depth = d + 2 // cells ≈ half the rect's larger side
+	}
+	if depth > MaxDepth {
+		depth = MaxDepth
+	}
+	c := coverer{rect: rect, out: dst, maxIntervals: maxIntervals}
+	c.cover(bounds, 0, uint64(1)<<(2*MaxDepth), depth)
+	return c.out
+}
+
+type coverer struct {
+	rect         geo.Rect
+	out          []Interval
+	maxIntervals int
+	allInside    bool
+}
+
+// cover walks the implicit quadtree of the space down to the given depth.
+// cell is the current cell, lo the smallest point code inside it, span
+// the count of codes it owns (a power of four).
+func (c *coverer) cover(cell geo.Rect, lo, span uint64, depth int) {
+	if !cell.Intersects(c.rect) {
+		return
+	}
+	inside := c.rect.ContainsRect(cell)
+	if depth == 0 || span == 1 || inside {
+		if !inside && len(c.out) == 0 {
+			c.allInside = false
+		}
+		if len(c.out) == 0 {
+			c.allInside = inside
+		} else {
+			c.allInside = c.allInside && inside
+		}
+		c.emit(lo, lo+span-1)
+		return
+	}
+	childSpan := span / 4
+	for q := 0; q < 4; q++ {
+		c.cover(cell.Quadrant(q), lo+uint64(q)*childSpan, childSpan, depth-1)
+	}
+}
+
+// emit appends [lo, hi], merging with the previous interval when they
+// touch.
+func (c *coverer) emit(lo, hi uint64) {
+	if hi > maxCode {
+		hi = maxCode
+	}
+	n := len(c.out)
+	merge := n > 0 && (lo == 0 || c.out[n-1].Hi >= lo-1)
+	if !merge && c.maxIntervals > 0 && n >= c.maxIntervals {
+		// Budget spent: coarsen into the previous interval (covers the
+		// gap too — still a superset, so still sound).
+		merge = n > 0
+	}
+	if merge {
+		if hi > c.out[n-1].Hi {
+			c.out[n-1].Hi = hi
+		}
+		return
+	}
+	c.out = append(c.out, Interval{Lo: lo, Hi: hi})
+}

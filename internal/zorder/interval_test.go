@@ -1,0 +1,105 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/geo"
+)
+
+func TestCoverIntervalsSoundness(t *testing.T) {
+	// Every point inside the query rect must have its code covered.
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 1024, MaxY: 1024}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		a := geo.Pt(rng.Float64()*1024, rng.Float64()*1024)
+		b := geo.Pt(rng.Float64()*1024, rng.Float64()*1024)
+		rect := geo.NewRect(a, b)
+		ivs := CoverIntervals(bounds, rect, 8, 16, nil)
+		if len(ivs) == 0 {
+			t.Fatal("no intervals for intersecting rect")
+		}
+		for probe := 0; probe < 200; probe++ {
+			p := geo.Pt(
+				rect.MinX+rng.Float64()*rect.Width(),
+				rect.MinY+rng.Float64()*rect.Height(),
+			)
+			code := PointCode(bounds, p)
+			covered := false
+			for _, iv := range ivs {
+				if iv.Contains(code) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("trial %d: point %v code %d not covered by %v (rect %v)",
+					trial, p, code, ivs, rect)
+			}
+		}
+	}
+}
+
+func TestCoverIntervalsSortedDisjointBounded(t *testing.T) {
+	bounds := geo.Rect{MinX: -500, MinY: -500, MaxX: 500, MaxY: 500}
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		a := geo.Pt(rng.Float64()*1000-500, rng.Float64()*1000-500)
+		b := geo.Pt(rng.Float64()*1000-500, rng.Float64()*1000-500)
+		rect := geo.NewRect(a, b)
+		maxIv := 1 + rng.Intn(20)
+		ivs := CoverIntervals(bounds, rect, 10, maxIv, nil)
+		if len(ivs) > maxIv {
+			t.Fatalf("emitted %d intervals, budget %d", len(ivs), maxIv)
+		}
+		for i, iv := range ivs {
+			if iv.Lo > iv.Hi {
+				t.Fatalf("inverted interval %v", iv)
+			}
+			if i > 0 && ivs[i-1].Hi >= iv.Lo {
+				t.Fatalf("intervals overlap or touch unmerged: %v then %v", ivs[i-1], iv)
+			}
+		}
+	}
+}
+
+func TestCoverIntervalsSplitLineRect(t *testing.T) {
+	// A rect straddling the center vertical line has a near-total naive
+	// code range; the decomposition must produce a far tighter cover.
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	rect := geo.Rect{MinX: 480, MinY: 100, MaxX: 520, MaxY: 140}
+	ivs := CoverIntervals(bounds, rect, 10, 16, nil)
+	var covered uint64
+	for _, iv := range ivs {
+		covered += iv.Hi - iv.Lo + 1
+	}
+	naive := PointCode(bounds, geo.Pt(rect.MaxX, rect.MaxY)) -
+		PointCode(bounds, geo.Pt(rect.MinX, rect.MinY))
+	if covered >= naive/4 {
+		t.Errorf("decomposition covered %d codes, naive range %d — no tightening", covered, naive)
+	}
+}
+
+func TestCoverIntervalsDisjointRect(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	if ivs := CoverIntervals(bounds, geo.Rect{MinX: 20, MinY: 20, MaxX: 30, MaxY: 30}, 6, 8, nil); len(ivs) != 0 {
+		t.Errorf("disjoint rect produced intervals: %v", ivs)
+	}
+}
+
+func TestCoverIntervalsFullSpace(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	ivs := CoverIntervals(bounds, bounds.Expand(1), 6, 8, nil)
+	if len(ivs) != 1 || ivs[0].Lo != 0 || ivs[0].Hi != maxCode {
+		t.Errorf("full-space cover = %v, want single [0, maxCode]", ivs)
+	}
+}
+
+func TestCoverIntervalsReusesBuffer(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	buf := make([]Interval, 0, 32)
+	out := CoverIntervals(bounds, geo.Rect{MinX: 10, MinY: 10, MaxX: 20, MaxY: 20}, 8, 16, buf)
+	if cap(out) != cap(buf) && len(out) <= cap(buf) {
+		t.Error("buffer not reused despite sufficient capacity")
+	}
+}

@@ -1,0 +1,166 @@
+package trajcover
+
+// Snapshot persistence: an Index can be written to and restored from a
+// compact binary stream. The snapshot stores the configuration and the
+// raw trajectories; restoring rebuilds the TQ-tree, which is fast (a few
+// hundred milliseconds per million trips) and keeps the format decoupled
+// from the in-memory node layout.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// snapshotMagic identifies trajcover snapshot streams.
+var snapshotMagic = [8]byte{'T', 'Q', 'S', 'N', 'A', 'P', '0', '1'}
+
+// ErrBadSnapshot is returned when a snapshot stream is malformed or its
+// checksum does not match.
+var ErrBadSnapshot = errors.New("trajcover: invalid snapshot")
+
+// WriteSnapshot serializes the index (configuration and trajectories) to
+// w. The stream is framed with a magic header and a CRC32 trailer.
+func (x *Index) WriteSnapshot(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	tree := x.engine.Tree()
+	header := []uint64{
+		uint64(tree.Variant()),
+		uint64(tree.Ordering()),
+		uint64(tree.Beta()),
+		math.Float64bits(tree.Bounds().MinX),
+		math.Float64bits(tree.Bounds().MinY),
+		math.Float64bits(tree.Bounds().MaxX),
+		math.Float64bits(tree.Bounds().MaxY),
+		uint64(x.set.Len()),
+	}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, t := range x.set.All {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(t.ID)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(t.Len())); err != nil {
+			return err
+		}
+		for _, p := range t.Points {
+			if err := binary.Write(bw, binary.LittleEndian, p.X); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Trailer: checksum of everything written so far, outside the
+	// checksummed stream itself.
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// hashReader hashes exactly the bytes its consumer reads, regardless of
+// any read-ahead the underlying reader performs — required so a trailing
+// checksum can be read outside the hashed region.
+type hashReader struct {
+	r   io.Reader
+	crc io.Writer
+}
+
+func (h *hashReader) Read(p []byte) (int, error) {
+	n, err := h.r.Read(p)
+	if n > 0 {
+		h.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+// ReadSnapshot restores an Index written by WriteSnapshot, rebuilding the
+// TQ-tree over the stored trajectories.
+func ReadSnapshot(r io.Reader) (*Index, error) {
+	base := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	br := &hashReader{r: base, crc: crc}
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	var header [8]uint64
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("%w: truncated header", ErrBadSnapshot)
+		}
+	}
+	opts := IndexOptions{
+		Variant:  Variant(header[0]),
+		Ordering: Ordering(header[1]),
+		Beta:     int(header[2]),
+		Bounds: geo.Rect{
+			MinX: math.Float64frombits(header[3]),
+			MinY: math.Float64frombits(header[4]),
+			MaxX: math.Float64frombits(header[5]),
+			MaxY: math.Float64frombits(header[6]),
+		},
+	}
+	n := header[7]
+	const maxTrajectories = 1 << 31
+	if n > maxTrajectories {
+		return nil, fmt.Errorf("%w: implausible trajectory count %d", ErrBadSnapshot, n)
+	}
+	users := make([]*Trajectory, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var id, npts uint32
+		if err := binary.Read(br, binary.LittleEndian, &id); err != nil {
+			return nil, fmt.Errorf("%w: truncated trajectory %d", ErrBadSnapshot, i)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &npts); err != nil {
+			return nil, fmt.Errorf("%w: truncated trajectory %d", ErrBadSnapshot, i)
+		}
+		if npts < 2 || npts > 1<<24 {
+			return nil, fmt.Errorf("%w: trajectory %d has %d points", ErrBadSnapshot, i, npts)
+		}
+		pts := make([]geo.Point, npts)
+		for j := range pts {
+			if err := binary.Read(br, binary.LittleEndian, &pts[j].X); err != nil {
+				return nil, fmt.Errorf("%w: truncated points", ErrBadSnapshot)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &pts[j].Y); err != nil {
+				return nil, fmt.Errorf("%w: truncated points", ErrBadSnapshot)
+			}
+		}
+		t, err := trajectory.New(trajectory.ID(id), pts)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		users = append(users, t)
+	}
+	want := crc.Sum32()
+	var got uint32
+	// The trailer is outside the hashed region: read it from the base
+	// reader, not through the hashReader.
+	if err := binary.Read(base, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrBadSnapshot)
+	}
+	if got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+	return NewIndex(users, opts)
+}

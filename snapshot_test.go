@@ -1,0 +1,122 @@
+package trajcover
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	users, routes := smallWorkload(t)
+	for _, opts := range []IndexOptions{
+		{},
+		{Variant: FullTrajectory, Ordering: ZOrdering, Beta: 16},
+		{Variant: Segmented, Ordering: BasicOrdering, Beta: 32},
+	} {
+		idx, err := NewIndex(users, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := idx.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if back.Len() != idx.Len() {
+			t.Fatalf("restored %d trajectories, want %d", back.Len(), idx.Len())
+		}
+		// Restored index must answer queries identically.
+		sc := Binary
+		if opts.Variant == Segmented || opts.Variant == FullTrajectory {
+			sc = PointCount
+		}
+		q := Query{Scenario: sc, Psi: DefaultPsi}
+		for _, f := range routes[:5] {
+			a, err := idx.ServiceValue(f, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := back.ServiceValue(f, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("facility %d: original %v, restored %v", f.ID, a, b)
+			}
+		}
+	}
+}
+
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	users, _ := smallWorkload(t)
+	idx, err := NewIndex(users[:100], IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := ReadSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("corrupted payload: err = %v, want ErrBadSnapshot", err)
+	}
+
+	// Truncated stream.
+	if _, err := ReadSnapshot(bytes.NewReader(good[:len(good)/3])); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("truncated stream: err = %v, want ErrBadSnapshot", err)
+	}
+
+	// Wrong magic.
+	bad2 := append([]byte(nil), good...)
+	bad2[0] = 'X'
+	if _, err := ReadSnapshot(bytes.NewReader(bad2)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("bad magic: err = %v, want ErrBadSnapshot", err)
+	}
+
+	// Empty stream.
+	if _, err := ReadSnapshot(bytes.NewReader(nil)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("empty stream: err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestSnapshotPreservesInsertedTrajectories(t *testing.T) {
+	users, routes := smallWorkload(t)
+	idx, err := NewIndex(users[:1500], IndexOptions{Bounds: Rect{MaxX: 30000, MaxY: 40000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users[1500:] {
+		if err := idx.Insert(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := idx.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Scenario: Binary, Psi: DefaultPsi}
+	a, err := idx.ServiceValue(routes[0], q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.ServiceValue(routes[0], q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("post-insert snapshot mismatch: %v vs %v", a, b)
+	}
+}
