@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tqbench [-exp fig7a,fig7c] [-scale 0.05] [-psi 300] [-repeats 3] [-seed 1]
+//	tqbench [-exp fig7a,fig7c] [-scale 0.05] [-psi 300] [-repeats 3] [-seed 1] [-json out.json]
 //
 // -exp all (the default) runs every experiment in paper order. -scale is
 // the fraction of the paper-scale dataset cardinalities to generate;
@@ -11,6 +11,9 @@
 // to three orders of magnitude slower than TQ(Z), which is the point).
 // Output is the same rows/series the paper's figures plot; see
 // EXPERIMENTS.md for a recorded run and the paper-vs-measured comparison.
+// -json additionally writes the measurements as machine-readable rows
+// (config + one row per experiment/method/x-tick), the format CI and
+// perf-trajectory tooling consume (BENCH_*.json).
 package main
 
 import (
@@ -24,12 +27,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale   = flag.Float64("scale", 0.02, "fraction of paper-scale dataset sizes")
-		psi     = flag.Float64("psi", 300, "serving distance threshold ψ in meters")
-		repeats = flag.Int("repeats", 3, "timing repetitions (minimum is reported)")
-		seed    = flag.Int64("seed", 1, "data generation seed")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale    = flag.Float64("scale", 0.02, "fraction of paper-scale dataset sizes")
+		psi      = flag.Float64("psi", 300, "serving distance threshold ψ in meters")
+		repeats  = flag.Int("repeats", 3, "timing repetitions (minimum is reported)")
+		seed     = flag.Int64("seed", 1, "data generation seed")
+		jsonPath = flag.String("json", "", "also write results as JSON to this path")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -45,8 +49,32 @@ func main() {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
 	cfg := bench.Config{Scale: *scale, Psi: *psi, Repeats: *repeats, Seed: *seed}
-	if err := bench.Run(ids, cfg, os.Stdout); err != nil {
+	// Create the JSON file up front so a bad path fails before, not
+	// after, a potentially hours-long run.
+	var jsonFile *os.File
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqbench:", err)
+			os.Exit(1)
+		}
+		jsonFile = f
+	}
+	tables, err := bench.Run(ids, cfg, os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tqbench:", err)
 		os.Exit(1)
+	}
+	if jsonFile != nil {
+		if err := bench.WriteJSON(jsonFile, cfg, tables); err != nil {
+			jsonFile.Close()
+			fmt.Fprintln(os.Stderr, "tqbench:", err)
+			os.Exit(1)
+		}
+		if err := jsonFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tqbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tqbench: wrote %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/trajcover/trajcover
+
+go 1.22

@@ -23,18 +23,18 @@ import (
 type Config struct {
 	// Scale is the fraction of the paper-scale dataset cardinalities to
 	// generate (1.0 = full Table II sizes). 0 means 0.02.
-	Scale float64
+	Scale float64 `json:"scale"`
 	// Psi is the serving threshold ψ in meters. 0 means
 	// datagen.DefaultPsi.
-	Psi float64
+	Psi float64 `json:"psi"`
 	// Repeats is the number of timing repetitions (minimum taken).
 	// 0 means 3.
-	Repeats int
+	Repeats int `json:"repeats"`
 	// Seed drives all data generation.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// MaxSeconds soft-bounds a single measured operation: when one
 	// repetition exceeds it, no further repetitions run. 0 means 30s.
-	MaxSeconds float64
+	MaxSeconds float64 `json:"max_seconds"`
 }
 
 func (c Config) withDefaults() Config {
@@ -275,8 +275,9 @@ func (c *Context) Time(fn func()) float64 {
 }
 
 // Run executes the experiments with the given IDs ("all" runs the full
-// registry) and prints each table to w.
-func Run(ids []string, cfg Config, w io.Writer) error {
+// registry), prints each table to w, and returns the tables so callers
+// can post-process them (e.g. the -json trajectory output of cmd/tqbench).
+func Run(ids []string, cfg Config, w io.Writer) ([]*Table, error) {
 	ctx := NewContext(cfg)
 	reg := Registry()
 	byID := map[string]Experiment{}
@@ -295,19 +296,21 @@ func Run(ids []string, cfg Config, w io.Writer) error {
 					known = append(known, k)
 				}
 				sort.Strings(known)
-				return fmt.Errorf("bench: unknown experiment %q (known: %s)", id, strings.Join(known, ", "))
+				return nil, fmt.Errorf("bench: unknown experiment %q (known: %s)", id, strings.Join(known, ", "))
 			}
 			run = append(run, e)
 		}
 	}
 	fmt.Fprintf(w, "# trajcover experiment run: scale=%.3f psi=%.0fm repeats=%d seed=%d\n\n",
 		ctx.Cfg.Scale, ctx.Cfg.Psi, ctx.Cfg.Repeats, ctx.Cfg.Seed)
+	tables := make([]*Table, 0, len(run))
 	for _, e := range run {
 		table, err := e.Run(ctx)
 		if err != nil {
-			return fmt.Errorf("bench: experiment %s: %w", e.ID, err)
+			return tables, fmt.Errorf("bench: experiment %s: %w", e.ID, err)
 		}
 		table.Print(w)
+		tables = append(tables, table)
 	}
-	return nil
+	return tables, nil
 }

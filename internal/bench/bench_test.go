@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -23,6 +24,8 @@ func TestRegistryCoversEveryFigure(t *testing.T) {
 		"psi",
 		"build",
 		"scaling",
+		"thrpt",
+		"pbuild",
 	}
 	reg := Registry()
 	have := map[string]bool{}
@@ -44,8 +47,68 @@ func TestRegistryCoversEveryFigure(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Run([]string{"nope"}, tinyConfig(), &buf); err == nil {
+	if _, err := Run([]string{"nope"}, tinyConfig(), &buf); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunReturnsTablesAndJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tables, err := Run([]string{"datasets"}, tinyConfig(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "datasets" {
+		t.Fatalf("unexpected tables %+v", tables)
+	}
+	var out bytes.Buffer
+	if err := WriteJSON(&out, tinyConfig(), tables); err != nil {
+		t.Fatal(err)
+	}
+	var doc RunDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted JSON does not round-trip: %v", err)
+	}
+	if doc.Config.Repeats != 1 || doc.Config.Scale != 0.0001 {
+		t.Errorf("config not recorded: %+v", doc.Config)
+	}
+	wantRows := 0
+	for _, s := range tables[0].Series {
+		wantRows += len(s.Y)
+	}
+	if len(doc.Rows) != wantRows {
+		t.Errorf("%d rows, want %d", len(doc.Rows), wantRows)
+	}
+	for _, r := range doc.Rows {
+		if r.Experiment != "datasets" || r.Method == "" || r.X == "" {
+			t.Errorf("malformed row %+v", r)
+		}
+	}
+}
+
+func TestThroughputExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment in -short mode")
+	}
+	ctx := NewContext(tinyConfig())
+	for _, run := range []func(*Context) (*Table, error){expThroughput, expParallelBuild} {
+		table, err := run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(table.XTicks) != len(workerAxis) {
+			t.Fatalf("%s: %d ticks, want %d", table.ID, len(table.XTicks), len(workerAxis))
+		}
+		for _, s := range table.Series {
+			if len(s.Y) != len(table.XTicks) {
+				t.Fatalf("%s series %s ragged", table.ID, s.Method)
+			}
+			for i, y := range s.Y {
+				if y < 0 {
+					t.Errorf("%s series %s tick %d negative", table.ID, s.Method, i)
+				}
+			}
+		}
 	}
 }
 

@@ -52,7 +52,80 @@ func Registry() []Experiment {
 		{ID: "psi", Title: "§VI.B.1(iii) — kMaxRRST time vs distance threshold ψ (NYT; omitted 'for brevity' in the paper)", Run: expPsi},
 		{ID: "build", Title: "§VI.B.4 — index construction time vs #user trajectories (NYT)", Run: expBuild},
 		{ID: "scaling", Title: "extra — BL/TQ(Z) gap growth with dataset scale (not in the paper)", Run: expScaling},
+		{ID: "thrpt", Title: "extra — batch kMaxRRST throughput vs worker count (NYT, not in the paper)", Run: expThroughput},
+		{ID: "pbuild", Title: "extra — TQ(Z) construction time vs build parallelism (NYT, not in the paper)", Run: expParallelBuild},
 	}
+}
+
+// workerAxis sweeps the batch executor's pool size.
+var workerAxis = []int{1, 2, 4, 8}
+
+// expThroughput measures the concurrent batch executor: queries/sec for
+// per-facility service values (ServiceValues) and full kMaxRRST answers
+// (TopKParallel) as the worker count grows. On a single-core host the
+// series should stay flat; on n cores ServiceValues should approach n×
+// the single-worker rate because facilities shard independently over a
+// read-only tree.
+func expThroughput(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID: "thrpt", Title: "batch throughput vs workers (NYT)",
+		XLabel: "workers", YLabel: "queries/sec",
+		Series: []Series{{Method: "ServiceValues"}, {Method: "TopKPar"}},
+	}
+	eng := ctx.Engine(dsNYT, datagen.NYT1Day, tqtree.TwoPoint, tqtree.ZOrder)
+	fs := ctx.Routes("ny", defaultFacilities, defaultStops)
+	p := ctx.Params(service.Binary)
+	for _, w := range workerAxis {
+		var qerr error
+		svSec := ctx.Time(func() {
+			if _, _, e := eng.ServiceValues(fs, p, w); e != nil {
+				qerr = e
+			}
+		})
+		tkSec := ctx.Time(func() {
+			if _, _, e := eng.TopKParallel(fs, defaultK, p, w); e != nil {
+				qerr = e
+			}
+		})
+		if qerr != nil {
+			return nil, qerr
+		}
+		svQPS, tkQPS := 0.0, 0.0
+		if svSec > 0 {
+			svQPS = float64(len(fs)) / svSec
+		}
+		if tkSec > 0 {
+			tkQPS = 1 / tkSec
+		}
+		t.XTicks = append(t.XTicks, fmt.Sprint(w))
+		appendRow(t, svQPS, tkQPS)
+	}
+	return t, nil
+}
+
+// expParallelBuild measures TQ(Z) construction with Options.Parallelism
+// swept over the worker axis — the companion series to the paper's §VI.B.4
+// build-time experiment, demonstrating that index construction scales
+// with cores while producing an identical tree.
+func expParallelBuild(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID: "pbuild", Title: "TQ(Z) build time vs parallelism (NYT)",
+		XLabel: "parallelism", YLabel: "seconds to build",
+		Series: []Series{{Method: "TQ(Z)"}},
+	}
+	users := ctx.Users(dsNYT, datagen.NYT1Day)
+	for _, w := range workerAxis {
+		sec := ctx.Time(func() {
+			if _, err := tqtree.Build(users.All, tqtree.Options{
+				Variant: tqtree.TwoPoint, Ordering: tqtree.ZOrder, Parallelism: w,
+			}); err != nil {
+				panic(err)
+			}
+		})
+		t.XTicks = append(t.XTicks, fmt.Sprint(w))
+		appendRow(t, sec)
+	}
+	return t, nil
 }
 
 // expScaling quantifies how the BL-versus-TQ(Z) gap widens with dataset

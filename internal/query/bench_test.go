@@ -1,6 +1,7 @@
 package query
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/trajcover/trajcover/internal/datagen"
@@ -50,11 +51,40 @@ var benchParams = Params{Scenario: service.Binary, Psi: 300}
 
 func BenchmarkTopKZOrder(b *testing.B) {
 	env := getEnv(b)
+	b.ReportAllocs() // guards the relaxState span/buf scratch reuse
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := env.engZ.TopK(env.fs, 8, benchParams); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkTopKParallel(b *testing.B) {
+	env := getEnv(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := env.engZ.TopKParallel(env.fs, 8, benchParams, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkServiceValuesWorkers(b *testing.B) {
+	env := getEnv(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := env.engZ.ServiceValues(env.fs, benchParams, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -80,6 +110,7 @@ func BenchmarkTopKBaseline(b *testing.B) {
 
 func BenchmarkServiceValueZOrder(b *testing.B) {
 	env := getEnv(b)
+	b.ReportAllocs() // guards the pooled compArena + StopSet hot path
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := env.engZ.ServiceValue(env.fs[i%len(env.fs)], benchParams); err != nil {

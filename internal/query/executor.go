@@ -1,0 +1,216 @@
+package query
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// This file implements the concurrent batch executor. A built TQ-tree is
+// immutable under queries — every traversal in this package only reads
+// nodes, lists, and cached bounds — so one tree is safely shared by any
+// number of worker goroutines without locking. (Tree.Insert is NOT safe
+// to run concurrently with queries; batch serving of a mutating tree
+// needs external coordination or snapshotting.)
+//
+// Each worker owns its hot-path scratch (compArena, pooled StopSets) and
+// a private Metrics that is summed into the caller's after the join, so
+// the hot loops share no mutable state and the merged totals match the
+// serial run wherever the work split is deterministic.
+
+// resolveWorkers maps a workers argument to an effective pool size:
+// non-positive means GOMAXPROCS, and a batch never needs more workers
+// than items.
+func resolveWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// add accumulates other into m.
+func (m *Metrics) add(other Metrics) {
+	m.NodesVisited += other.NodesVisited
+	m.EntriesScored += other.EntriesScored
+	m.Relaxations += other.Relaxations
+}
+
+// ServiceValues computes SO(U, f) for every facility in one batch,
+// sharding the facilities across a pool of workers. The returned slice
+// is indexed like facilities, so the ordering is deterministic and
+// identical to calling ServiceValue in a loop; the merged Metrics totals
+// are as well, because each facility's traversal is independent.
+// workers <= 0 uses GOMAXPROCS.
+func (e *Engine) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
+	if err := p.validate(); err != nil {
+		return nil, Metrics{}, err
+	}
+	if err := e.tree.ValidateScenario(p.Scenario); err != nil {
+		return nil, Metrics{}, err
+	}
+	var m Metrics
+	if len(facilities) == 0 {
+		return nil, m, nil
+	}
+	mode := e.tree.FilterModeFor(p.Scenario)
+	out := make([]float64, len(facilities))
+	workers = resolveWorkers(workers, len(facilities))
+	stops := maxStops(facilities)
+	if workers == 1 {
+		arena := acquireCompArena(stops)
+		for i, f := range facilities {
+			out[i] = e.evaluateService(e.tree.Root(), f.Stops, p, mode, &m, arena)
+		}
+		putCompArena(arena)
+		return out, m, nil
+	}
+	var next atomic.Int64
+	perWorker := make([]Metrics, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arena := acquireCompArena(stops)
+			wm := &perWorker[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(facilities) {
+					break
+				}
+				out[i] = e.evaluateService(e.tree.Root(), facilities[i].Stops, p, mode, wm, arena)
+			}
+			putCompArena(arena)
+		}(w)
+	}
+	wg.Wait()
+	for _, wm := range perWorker {
+		m.add(wm)
+	}
+	return out, m, nil
+}
+
+// TopKExhaustiveParallel is TopKExhaustive with the per-facility scoring
+// sharded across workers. The answer (and the merged Metrics) is
+// identical to the serial TopKExhaustive: scores are written by facility
+// index and sorted with the same deterministic tie-break.
+func (e *Engine) TopKExhaustiveParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]Result, Metrics, error) {
+	if k <= 0 || len(facilities) == 0 {
+		if err := p.validate(); err != nil {
+			return nil, Metrics{}, err
+		}
+		if err := e.tree.ValidateScenario(p.Scenario); err != nil {
+			return nil, Metrics{}, err
+		}
+		return nil, Metrics{}, nil
+	}
+	values, m, err := e.ServiceValues(facilities, p, workers)
+	if err != nil {
+		return nil, m, err
+	}
+	return Results(facilities, values, k), m, nil
+}
+
+// TopKParallel answers kMaxRRST with the best-first strategy of TopK,
+// relaxing up to `workers` frontier states concurrently per round. A
+// facility is emitted only when it reaches the top of the heap with no
+// optimistic remainder — the same exactness condition as the serial
+// search — so the results are identical to TopK. Metrics.Relaxations may
+// exceed the serial count: batching can relax states the serial search
+// would have pruned by an earlier termination, buying wall-clock time
+// with speculative work. workers <= 1 falls back to the serial TopK.
+func (e *Engine) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]Result, Metrics, error) {
+	workers = resolveWorkers(workers, len(facilities))
+	if workers <= 1 {
+		return e.TopK(facilities, k, p)
+	}
+	if err := p.validate(); err != nil {
+		return nil, Metrics{}, err
+	}
+	if err := e.tree.ValidateScenario(p.Scenario); err != nil {
+		return nil, Metrics{}, err
+	}
+	var m Metrics
+	if k <= 0 || len(facilities) == 0 {
+		return nil, m, nil
+	}
+	if k > len(facilities) {
+		k = len(facilities)
+	}
+	mode := e.tree.FilterModeFor(p.Scenario)
+	ancestors := e.tree.AncestorsCanServe(p.Scenario)
+
+	h := make(stateHeap, 0, len(facilities))
+	for _, f := range facilities {
+		h = append(h, e.initialState(f, p, ancestors))
+	}
+	heap.Init(&h)
+
+	results := make([]Result, 0, k)
+	batch := make([]*state, 0, workers)
+	perWorker := make([]Metrics, workers)
+	for h.Len() > 0 && len(results) < k {
+		s := heap.Pop(&h).(*state)
+		if len(s.pairs) == 0 || s.hserve == 0 {
+			results = append(results, Result{Facility: s.fac, Service: s.aserve})
+			continue
+		}
+		// Grab more non-final states to relax alongside the top one. A
+		// final state stops the grab: it must be re-examined at the top
+		// of the heap after the batch reorders, not emitted early.
+		batch = append(batch[:0], s)
+		for len(batch) < workers && h.Len() > 0 {
+			nxt := h[0]
+			if len(nxt.pairs) == 0 || nxt.hserve == 0 {
+				break
+			}
+			batch = append(batch, heap.Pop(&h).(*state))
+		}
+		if len(batch) == 1 {
+			e.relaxState(s, p, mode, &m)
+		} else {
+			var wg sync.WaitGroup
+			for i, bs := range batch {
+				wg.Add(1)
+				go func(i int, bs *state) {
+					defer wg.Done()
+					e.relaxState(bs, p, mode, &perWorker[i])
+				}(i, bs)
+			}
+			wg.Wait()
+		}
+		for _, bs := range batch {
+			heap.Push(&h, bs)
+		}
+	}
+	for _, wm := range perWorker {
+		m.add(wm)
+	}
+	return results, m, nil
+}
+
+// Results converts a batch of service values into sorted top-k results —
+// a convenience for callers that already hold ServiceValues output.
+func Results(facilities []*trajectory.Facility, values []float64, k int) []Result {
+	if len(values) != len(facilities) {
+		panic("query: values/facilities length mismatch")
+	}
+	results := make([]Result, len(facilities))
+	for i, f := range facilities {
+		results[i] = Result{Facility: f, Service: values[i]}
+	}
+	sortResults(results)
+	if k > 0 && k < len(results) {
+		results = results[:k]
+	}
+	return results
+}

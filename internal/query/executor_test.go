@@ -1,0 +1,203 @@
+package query
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/tqtree"
+)
+
+// executorEnv builds a moderately sized engine shared by the batch
+// executor tests: multipoint users so every scenario is exercised on the
+// FullTrajectory variant, plus a TwoPoint/ZOrder engine for Binary.
+func executorEnv(t *testing.T, variant tqtree.Variant, ordering tqtree.Ordering) *Engine {
+	t.Helper()
+	maxPts := 6
+	if variant == tqtree.TwoPoint {
+		maxPts = 2
+	}
+	users := makeUsers(3000, maxPts, 201)
+	tree, err := tqtree.Build(users.All, tqtree.Options{
+		Variant: variant, Ordering: ordering, Bounds: testBounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(tree, users)
+}
+
+func TestServiceValuesMatchesSerial(t *testing.T) {
+	cases := []struct {
+		variant  tqtree.Variant
+		ordering tqtree.Ordering
+		sc       service.Scenario
+	}{
+		{tqtree.TwoPoint, tqtree.ZOrder, service.Binary},
+		{tqtree.TwoPoint, tqtree.Basic, service.Binary},
+		{tqtree.Segmented, tqtree.ZOrder, service.PointCount},
+		{tqtree.FullTrajectory, tqtree.ZOrder, service.Length},
+	}
+	for _, tc := range cases {
+		t.Run(tc.variant.String()+"/"+tc.sc.String(), func(t *testing.T) {
+			eng := executorEnv(t, tc.variant, tc.ordering)
+			fs := makeFacilities(40, 16, 202)
+			p := Params{Scenario: tc.sc, Psi: 45}
+
+			var wantM Metrics
+			want := make([]float64, len(fs))
+			for i, f := range fs {
+				v, m, err := eng.ServiceValue(f, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = v
+				wantM.add(m)
+			}
+			for _, workers := range []int{0, 1, 3, 8} {
+				got, gotM, err := eng.ServiceValues(fs, p, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d values, want %d", workers, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("workers=%d facility %d: %v, want %v", workers, i, got[i], want[i])
+					}
+				}
+				if gotM != wantM {
+					t.Errorf("workers=%d metrics %+v, want %+v", workers, gotM, wantM)
+				}
+			}
+		})
+	}
+}
+
+func TestTopKExhaustiveParallelMatchesSerial(t *testing.T) {
+	eng := executorEnv(t, tqtree.TwoPoint, tqtree.ZOrder)
+	fs := makeFacilities(60, 12, 203)
+	p := Params{Scenario: service.Binary, Psi: 50}
+	want, wantM, err := eng.TopKExhaustive(fs, 10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 5} {
+		got, gotM, err := eng.TopKExhaustiveParallel(fs, 10, p, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Facility.ID != want[i].Facility.ID || got[i].Service != want[i].Service {
+				t.Errorf("workers=%d rank %d: (%d, %v), want (%d, %v)", workers, i,
+					got[i].Facility.ID, got[i].Service, want[i].Facility.ID, want[i].Service)
+			}
+		}
+		if gotM != wantM {
+			t.Errorf("workers=%d metrics %+v, want %+v", workers, gotM, wantM)
+		}
+	}
+}
+
+func TestTopKParallelMatchesSerial(t *testing.T) {
+	for _, variant := range []tqtree.Variant{tqtree.TwoPoint, tqtree.FullTrajectory} {
+		t.Run(variant.String(), func(t *testing.T) {
+			eng := executorEnv(t, variant, tqtree.ZOrder)
+			fs := makeFacilities(50, 12, 204)
+			sc := service.Binary
+			if variant == tqtree.FullTrajectory {
+				sc = service.PointCount
+			}
+			p := Params{Scenario: sc, Psi: 55}
+			for _, k := range []int{1, 5, 50} {
+				want, _, err := eng.TopK(fs, k, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{2, 4, 16} {
+					got, _, err := eng.TopKParallel(fs, k, p, workers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("k=%d workers=%d: %d results, want %d", k, workers, len(got), len(want))
+					}
+					for i := range got {
+						if got[i].Facility.ID != want[i].Facility.ID ||
+							math.Abs(got[i].Service-want[i].Service) > 1e-12 {
+							t.Errorf("k=%d workers=%d rank %d: (%d, %v), want (%d, %v)",
+								k, workers, i, got[i].Facility.ID, got[i].Service,
+								want[i].Facility.ID, want[i].Service)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestServiceValuesConcurrentBatches(t *testing.T) {
+	// Several goroutines each running a worker-pooled batch over the same
+	// shared tree: guards the read-only-tree claim and the scratch pools
+	// under -race.
+	eng := executorEnv(t, tqtree.TwoPoint, tqtree.ZOrder)
+	fs := makeFacilities(30, 10, 205)
+	p := Params{Scenario: service.Binary, Psi: 40}
+	want, _, err := eng.ServiceValues(fs, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, err := eng.ServiceValues(fs, p, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("facility %d: %v, want %v", i, got[i], want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestServiceValuesValidation(t *testing.T) {
+	eng := executorEnv(t, tqtree.TwoPoint, tqtree.ZOrder)
+	fs := makeFacilities(4, 4, 206)
+	if _, _, err := eng.ServiceValues(fs, Params{Scenario: service.Scenario(9), Psi: 10}, 2); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	if _, _, err := eng.ServiceValues(fs, Params{Scenario: service.Binary, Psi: -1}, 2); err == nil {
+		t.Error("negative psi accepted")
+	}
+	out, m, err := eng.ServiceValues(nil, Params{Scenario: service.Binary, Psi: 10}, 2)
+	if err != nil || out != nil || m != (Metrics{}) {
+		t.Errorf("empty batch: out=%v m=%+v err=%v", out, m, err)
+	}
+}
+
+func TestResultsHelper(t *testing.T) {
+	fs := makeFacilities(3, 4, 207)
+	rs := Results(fs, []float64{1, 3, 2}, 2)
+	if len(rs) != 2 || rs[0].Service != 3 || rs[1].Service != 2 {
+		t.Errorf("unexpected results %+v", rs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Results(fs, []float64{1}, 1)
+}

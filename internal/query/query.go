@@ -12,6 +12,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/trajcover/trajcover/internal/geo"
 	"github.com/trajcover/trajcover/internal/service"
@@ -78,21 +79,73 @@ func (e *Engine) ServiceValue(f *trajectory.Facility, p Params) (float64, Metric
 	}
 	var m Metrics
 	mode := e.tree.FilterModeFor(p.Scenario)
-	arena := newCompArena(len(f.Stops))
+	arena := acquireCompArena(len(f.Stops))
 	so := e.evaluateService(e.tree.Root(), f.Stops, p, mode, &m, arena)
+	putCompArena(arena)
 	return so, m, nil
 }
 
 // compArena is a stack-discipline buffer for facility components during a
 // depth-first traversal: children components are carved from the buffer
 // and released (truncated) when their recursion returns, so a whole query
-// does O(1) component allocations instead of one per visited node.
+// does O(1) component allocations instead of one per visited node. It
+// also carries the reusable candidate visitors, so a traversal passes no
+// closures (which would each cost a heap allocation) to the tree.
 type compArena struct {
-	buf []geo.Point
+	buf     []geo.Point
+	scorer  entryScorer
+	coverer entryCoverer
 }
 
-func newCompArena(stops int) *compArena {
-	return &compArena{buf: make([]geo.Point, 0, 4*stops+16)}
+// entryScorer is the EntryVisitor for exact service accumulation
+// (Algorithm 2's inner loop). Reused across node visits via the arena or
+// the exploration state.
+type entryScorer struct {
+	ss *service.StopSet
+	sc service.Scenario
+	m  *Metrics
+	so float64
+}
+
+func (v *entryScorer) VisitEntry(en *tqtree.Entry) {
+	v.m.EntriesScored++
+	v.so += en.ServeSet(v.sc, v.ss)
+}
+
+// entryCoverer is the EntryVisitor recording coverage masks.
+type entryCoverer struct {
+	ss            *service.StopSet
+	cov           service.Coverage
+	m             *Metrics
+	endpointsOnly bool
+}
+
+func (v *entryCoverer) VisitEntry(en *tqtree.Entry) {
+	v.m.EntriesScored++
+	en.CoverInto(v.cov, v.ss, v.endpointsOnly)
+}
+
+// compArenaPool recycles arenas across queries: the traversal releases
+// every carve before returning, so a released arena holds no live
+// component slices and its backing buffer can be handed to the next
+// query verbatim.
+var compArenaPool = sync.Pool{New: func() any { return new(compArena) }}
+
+func acquireCompArena(stops int) *compArena {
+	a := compArenaPool.Get().(*compArena)
+	if want := 4*stops + 16; cap(a.buf) < want {
+		a.buf = make([]geo.Point, 0, want)
+	}
+	a.buf = a.buf[:0]
+	return a
+}
+
+func putCompArena(a *compArena) {
+	// Drop visitor references so the pool doesn't pin the caller's
+	// coverage maps or metrics between queries.
+	a.scorer = entryScorer{}
+	a.coverer = entryCoverer{}
+	compArenaPool.Put(a)
 }
 
 // carve appends the stops within rect expanded by psi and returns them as
@@ -117,7 +170,7 @@ func (e *Engine) evaluateService(n *tqtree.Node, stops []geo.Point, p Params, mo
 	if n == nil || len(stops) == 0 {
 		return 0
 	}
-	so := e.evaluateNodeTrajectories(n, stops, p, mode, m)
+	so := e.evaluateNodeTrajectories(n, stops, p, mode, m, &arena.scorer)
 	if n.IsLeaf() {
 		return so
 	}
@@ -139,19 +192,18 @@ func (e *Engine) evaluateService(n *tqtree.Node, stops []geo.Point, p Params, mo
 
 // evaluateNodeTrajectories is Algorithm 2: run zReduce over the node's
 // own list against the component's EMBR and score the survivors exactly.
-func (e *Engine) evaluateNodeTrajectories(n *tqtree.Node, stops []geo.Point, p Params, mode tqtree.FilterMode, m *Metrics) float64 {
+// sco is the caller's reusable visitor; its fields are overwritten here.
+func (e *Engine) evaluateNodeTrajectories(n *tqtree.Node, stops []geo.Point, p Params, mode tqtree.FilterMode, m *Metrics, sco *entryScorer) float64 {
 	if len(stops) == 0 || n.ListLen() == 0 {
 		return 0
 	}
 	m.NodesVisited++
 	embr := geo.RectOf(stops).Expand(p.Psi)
-	ss := service.NewStopSetHint(stops, p.Psi, n.ListLen()/4)
-	var so float64
-	e.tree.NodeCandidates(n, embr, mode, func(en *tqtree.Entry) {
-		m.EntriesScored++
-		so += en.ServeSet(p.Scenario, ss)
-	})
-	return so
+	ss := service.AcquireStopSet(stops, p.Psi, n.ListLen()/4)
+	sco.ss, sco.sc, sco.m, sco.so = ss, p.Scenario, m, 0
+	e.tree.NodeCandidatesV(n, embr, mode, sco)
+	ss.Release()
+	return sco.so
 }
 
 // coverageMode returns the zReduce filter that is sound for coverage
@@ -178,8 +230,9 @@ func (e *Engine) Coverage(f *trajectory.Facility, p Params) (service.Coverage, M
 	cov := service.Coverage{}
 	mode := coverageMode(e.tree)
 	endpointsOnly := e.tree.Variant() == tqtree.TwoPoint
-	arena := newCompArena(len(f.Stops))
+	arena := acquireCompArena(len(f.Stops))
 	e.coverService(e.tree.Root(), f.Stops, p, mode, endpointsOnly, cov, &m, arena)
+	putCompArena(arena)
 	return cov, m, nil
 }
 
@@ -190,11 +243,11 @@ func (e *Engine) coverService(n *tqtree.Node, stops []geo.Point, p Params, mode 
 	if n.ListLen() > 0 {
 		m.NodesVisited++
 		embr := geo.RectOf(stops).Expand(p.Psi)
-		ss := service.NewStopSetHint(stops, p.Psi, n.ListLen()/4)
-		e.tree.NodeCandidates(n, embr, mode, func(en *tqtree.Entry) {
-			m.EntriesScored++
-			en.CoverInto(cov, ss, endpointsOnly)
-		})
+		ss := service.AcquireStopSet(stops, p.Psi, n.ListLen()/4)
+		cv := &arena.coverer
+		cv.ss, cv.cov, cv.m, cv.endpointsOnly = ss, cov, m, endpointsOnly
+		e.tree.NodeCandidatesV(n, embr, mode, cv)
+		ss.Release()
 	}
 	if n.IsLeaf() {
 		return

@@ -38,6 +38,24 @@ type state struct {
 	aserve float64
 	hserve float64
 	index  int // heap bookkeeping
+
+	// Relaxation scratch, reused across this state's relaxations. pairs
+	// and the component slices it references are backed by curPairs/
+	// curStops; a relaxation writes the next frontier into nextPairs/
+	// nextStops and swaps, so the buffers ping-pong and the state does
+	// O(1) allocations over its whole exploration once they have grown.
+	spans               []relaxSpan
+	curStops, nextStops []geo.Point
+	curPairs, nextPairs []qfPair
+	scorer              entryScorer
+}
+
+// relaxSpan records one child component as an index range into the
+// relaxation's stop buffer (the buffer may reallocate while growing, so
+// slices are taken only after it is complete).
+type relaxSpan struct {
+	node   *tqtree.Node
+	lo, hi int
 }
 
 func (s *state) fserve() float64 { return s.aserve + s.hserve }
@@ -143,19 +161,17 @@ func (e *Engine) initialState(f *trajectory.Facility, p Params, ancestors bool) 
 // intersecting children, rebuilding hserve from the children's `sub`.
 //
 // All children components of one relaxation are carved from a single
-// backing buffer (two allocations per relaxation instead of one per
-// child); the carving records index spans so the buffer may grow freely.
+// backing buffer, recorded as index spans so the buffer may grow freely.
+// The buffers live on the state and double-buffer between relaxations
+// (the outgoing frontier still references the previous buffer while the
+// next one is written), so steady-state relaxations allocate nothing.
 func (e *Engine) relaxState(s *state, p Params, mode tqtree.FilterMode, m *Metrics) {
 	m.Relaxations++
-	type span struct {
-		node   *tqtree.Node
-		lo, hi int
-	}
-	var spans []span
-	var buf []geo.Point
+	spans := s.spans[:0]
+	buf := s.nextStops[:0]
 	var hserve float64
 	for _, pr := range s.pairs {
-		s.aserve += e.evaluateNodeTrajectories(pr.node, pr.stops, p, mode, m)
+		s.aserve += e.evaluateNodeTrajectories(pr.node, pr.stops, p, mode, m, &s.scorer)
 		if pr.listOnly || pr.node.IsLeaf() {
 			continue
 		}
@@ -174,14 +190,17 @@ func (e *Engine) relaxState(s *state, p Params, mode tqtree.FilterMode, m *Metri
 			if len(buf) == lo {
 				continue
 			}
-			spans = append(spans, span{node: c, lo: lo, hi: len(buf)})
+			spans = append(spans, relaxSpan{node: c, lo: lo, hi: len(buf)})
 			hserve += c.TreeUB(p.Scenario)
 		}
 	}
-	next := make([]qfPair, len(spans))
-	for i, sp := range spans {
-		next[i] = qfPair{node: sp.node, stops: buf[sp.lo:sp.hi:sp.hi]}
+	next := s.nextPairs[:0]
+	for _, sp := range spans {
+		next = append(next, qfPair{node: sp.node, stops: buf[sp.lo:sp.hi:sp.hi]})
 	}
+	s.spans = spans
+	s.nextStops, s.curStops = s.curStops, buf
+	s.nextPairs, s.curPairs = s.curPairs, next
 	s.pairs = next
 	s.hserve = hserve
 }
@@ -207,13 +226,24 @@ func (e *Engine) TopKExhaustive(facilities []*trajectory.Facility, k int, p Para
 	}
 	mode := e.tree.FilterModeFor(p.Scenario)
 	results := make([]Result, 0, len(facilities))
+	arena := acquireCompArena(maxStops(facilities))
 	for _, f := range facilities {
-		arena := newCompArena(len(f.Stops))
 		so := e.evaluateService(e.tree.Root(), f.Stops, p, mode, &m, arena)
 		results = append(results, Result{Facility: f, Service: so})
 	}
+	putCompArena(arena)
 	sortResults(results)
 	return results[:k], m, nil
+}
+
+func maxStops(facilities []*trajectory.Facility) int {
+	most := 0
+	for _, f := range facilities {
+		if len(f.Stops) > most {
+			most = len(f.Stops)
+		}
+	}
+	return most
 }
 
 // sortResults orders by service descending, facility ID ascending for

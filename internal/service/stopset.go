@@ -2,6 +2,7 @@ package service
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/trajcover/trajcover/internal/geo"
 	"github.com/trajcover/trajcover/internal/trajectory"
@@ -23,7 +24,7 @@ type StopSet struct {
 	psi   float64
 	psi2  float64
 
-	// Grid fields; keys is nil in linear mode. keys is sorted and
+	// Grid fields; keys is empty in linear mode. keys is sorted and
 	// parallel to order: stops[order[i]] lies in cell keys[i].
 	keys       []uint64
 	order      []int32
@@ -40,21 +41,50 @@ func NewStopSet(stops []geo.Point, psi float64) *StopSet {
 // queries the set will answer; building the grid costs a few linear
 // scans, so few expected queries keep the cheaper linear mode.
 func NewStopSetHint(stops []geo.Point, psi float64, expectedQueries int) *StopSet {
-	s := &StopSet{stops: stops, psi: psi, psi2: psi * psi}
+	s := &StopSet{}
+	s.init(stops, psi, expectedQueries)
+	return s
+}
+
+// stopSetPool recycles StopSet structs together with their grid backing
+// arrays. The node-level evaluators build one StopSet per ⟨q-node,
+// component⟩ pair, so on the query hot path the grid arrays dominate
+// allocation without pooling.
+var stopSetPool = sync.Pool{New: func() any { return new(StopSet) }}
+
+// AcquireStopSet is NewStopSetHint backed by a pool: the returned set
+// reuses the key/order arrays of a previously Released set when their
+// capacity suffices. Call Release when done; the set must not be used
+// afterwards.
+func AcquireStopSet(stops []geo.Point, psi float64, expectedQueries int) *StopSet {
+	s := stopSetPool.Get().(*StopSet)
+	s.init(stops, psi, expectedQueries)
+	return s
+}
+
+// Release returns the set to the pool, dropping its reference to the
+// caller's stops but keeping the grid arrays for reuse.
+func (s *StopSet) Release() {
+	s.stops = nil
+	stopSetPool.Put(s)
+}
+
+// init (re)prepares the set in place, reusing grid capacity if present.
+func (s *StopSet) init(stops []geo.Point, psi float64, expectedQueries int) {
+	s.stops, s.psi, s.psi2 = stops, psi, psi*psi
+	s.keys = s.keys[:0]
+	s.order = s.order[:0]
 	if len(stops) < stopGridThreshold || psi <= 0 || expectedQueries < 16 {
-		return s
+		return
 	}
 	r := geo.RectOf(stops)
 	s.minX, s.minY = r.MinX, r.MinY
 	s.invCell = 1 / psi
-	s.keys = make([]uint64, len(stops))
-	s.order = make([]int32, len(stops))
 	for i, st := range stops {
-		s.keys[i] = s.cellKey(st.X, st.Y)
-		s.order[i] = int32(i)
+		s.keys = append(s.keys, s.cellKey(st.X, st.Y))
+		s.order = append(s.order, int32(i))
 	}
 	sort.Sort(gridSorter{s})
-	return s
 }
 
 // gridSorter sorts keys and order together.
@@ -96,7 +126,7 @@ func (s *StopSet) Stops() []geo.Point { return s.stops }
 
 // Served reports whether p is within ψ of any stop.
 func (s *StopSet) Served(p geo.Point) bool {
-	if s.keys == nil {
+	if len(s.keys) == 0 {
 		return PointServed(p, s.stops, s.psi)
 	}
 	cx := int32(fastFloor((p.X - s.minX) * s.invCell))

@@ -113,3 +113,36 @@ func TestStopSetAccessors(t *testing.T) {
 		t.Error("accessors broken")
 	}
 }
+
+func TestAcquireStopSetMatchesNew(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	// Cycle sets of varying sizes through the pool: reused grid arrays
+	// must answer identically to fresh ones, including after shrinking
+	// from a grid-mode set to a linear-mode one.
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(2*stopGridThreshold)
+		stops := make([]geo.Point, n)
+		for i := range stops {
+			stops[i] = geo.Pt(rng.Float64()*3000, rng.Float64()*3000)
+		}
+		psi := 40 + rng.Float64()*300
+		pooled := AcquireStopSet(stops, psi, 1<<30)
+		fresh := NewStopSet(stops, psi)
+		for probe := 0; probe < 200; probe++ {
+			p := geo.Pt(rng.Float64()*3000, rng.Float64()*3000)
+			if pooled.Served(p) != fresh.Served(p) {
+				t.Fatalf("trial %d: pooled and fresh disagree at %v (n=%d)", trial, p, n)
+			}
+		}
+		pooled.Release()
+	}
+}
+
+func TestStopSetReleaseDropsStops(t *testing.T) {
+	stops := []geo.Point{geo.Pt(1, 1)}
+	ss := AcquireStopSet(stops, 10, 1<<30)
+	ss.Release()
+	if ss.Stops() != nil {
+		t.Error("Release kept the stops reference")
+	}
+}

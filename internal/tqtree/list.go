@@ -51,7 +51,7 @@ type entryList interface {
 	// the tree's root space (used only by the z-ordered list, and only
 	// for modes that pin the start point inside the EMBR; may be nil
 	// otherwise).
-	candidates(embr geo.Rect, ivs []zorder.Interval, mode FilterMode, fn func(*Entry))
+	candidates(embr geo.Rect, ivs []zorder.Interval, mode FilterMode, v EntryVisitor)
 	// drain returns the entries and empties the list (used when a leaf
 	// splits).
 	drain() []Entry
@@ -81,10 +81,10 @@ func (l *basicList) forEach(fn func(Entry) bool) {
 	}
 }
 
-func (l *basicList) candidates(embr geo.Rect, _ []zorder.Interval, mode FilterMode, fn func(*Entry)) {
+func (l *basicList) candidates(embr geo.Rect, _ []zorder.Interval, mode FilterMode, v EntryVisitor) {
 	for i := range l.entries {
 		if entryMatches(&l.entries[i], embr, mode) {
-			fn(&l.entries[i])
+			v.VisitEntry(&l.entries[i])
 		}
 	}
 }
@@ -232,10 +232,10 @@ func (l *zList) forEach(fn func(Entry) bool) {
 	}
 }
 
-func (l *zList) candidates(embr geo.Rect, ivs []zorder.Interval, mode FilterMode, fn func(*Entry)) {
+func (l *zList) candidates(embr geo.Rect, ivs []zorder.Interval, mode FilterMode, v EntryVisitor) {
 	if mode != NeedBoth || len(ivs) == 0 {
 		for _, b := range l.buckets {
-			l.scanBucket(b, embr, mode, fn)
+			l.scanBucket(b, embr, mode, v)
 		}
 		return
 	}
@@ -250,7 +250,7 @@ func (l *zList) candidates(embr geo.Rect, ivs []zorder.Interval, mode FilterMode
 			bi++
 		}
 		for bi < len(l.buckets) && l.buckets[bi].minStart <= iv.Hi {
-			l.scanBucket(l.buckets[bi], embr, mode, fn)
+			l.scanBucket(l.buckets[bi], embr, mode, v)
 			bi++
 		}
 		if bi == len(l.buckets) {
@@ -259,13 +259,13 @@ func (l *zList) candidates(embr geo.Rect, ivs []zorder.Interval, mode FilterMode
 	}
 }
 
-func (l *zList) scanBucket(b *zBucket, embr geo.Rect, mode FilterMode, fn func(*Entry)) {
+func (l *zList) scanBucket(b *zBucket, embr geo.Rect, mode FilterMode, v EntryVisitor) {
 	if !b.survives(embr, mode) {
 		return
 	}
 	for i := range b.entries {
 		if entryMatches(&b.entries[i], embr, mode) {
-			fn(&b.entries[i])
+			v.VisitEntry(&b.entries[i])
 		}
 	}
 }

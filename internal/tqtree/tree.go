@@ -12,6 +12,9 @@ package tqtree
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/trajcover/trajcover/internal/geo"
 	"github.com/trajcover/trajcover/internal/service"
@@ -88,6 +91,12 @@ type Options struct {
 	// Bounds is the root space. It is extended to cover the data; a
 	// zero Rect derives bounds entirely from the data.
 	Bounds geo.Rect
+	// Parallelism bounds the number of goroutines Build may run
+	// concurrently. 0 means runtime.GOMAXPROCS(0); 1 forces the serial
+	// build. The parallel build produces a tree identical to the serial
+	// one: subtrees are built independently and their `sub` upper bounds
+	// are merged in quadrant order after the joins.
+	Parallelism int
 }
 
 // Tree is a TQ-tree over a set of user trajectories.
@@ -137,7 +146,13 @@ func Build(users []*trajectory.Trajectory, opts Options) (*Tree, error) {
 		entries = t.appendEntries(entries, u)
 	}
 	t.numEntries = len(entries)
-	t.root = t.build(bounds, 0, entries)
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	b := &treeBuilder{t: t}
+	b.slots.Store(int64(par - 1))
+	t.root = b.build(bounds, 0, entries)
 	return t, nil
 }
 
@@ -189,7 +204,39 @@ func (t *Tree) newList(entries []Entry) entryList {
 	return newBasicList(entries)
 }
 
+// parallelBuildCutoff is the subtree entry count below which fanning out
+// a goroutine costs more than building inline.
+const parallelBuildCutoff = 2048
+
+// treeBuilder runs the recursive construction with a bounded goroutine
+// budget. Each quadrant's entry slice is disjoint, so subtrees build
+// without sharing mutable state; the only cross-goroutine writes are the
+// n.children[q] stores, which the WaitGroup join orders before the parent
+// reads them back for the treeUB merge.
+type treeBuilder struct {
+	t     *Tree
+	slots atomic.Int64 // extra goroutines still allowed
+}
+
+func (b *treeBuilder) acquireSlot() bool {
+	for {
+		s := b.slots.Load()
+		if s <= 0 {
+			return false
+		}
+		if b.slots.CompareAndSwap(s, s-1) {
+			return true
+		}
+	}
+}
+
+// build is the serial construction used by Insert-time leaf splits.
 func (t *Tree) build(rect geo.Rect, depth int, entries []Entry) *Node {
+	return (&treeBuilder{t: t}).build(rect, depth, entries)
+}
+
+func (b *treeBuilder) build(rect geo.Rect, depth int, entries []Entry) *Node {
+	t := b.t
 	n := &Node{rect: rect, depth: depth}
 	if len(entries) <= t.opts.Beta || depth >= t.opts.MaxDepth {
 		n.leaf = true
@@ -219,14 +266,31 @@ func (t *Tree) build(rect geo.Rect, depth int, entries []Entry) *Node {
 	n.list = t.newList(stay)
 	n.recomputeOwnUB()
 	n.treeUB = n.ownUB
+	var wg sync.WaitGroup
 	for q := 0; q < 4; q++ {
 		if len(routed[q]) == 0 {
 			continue
 		}
-		child := t.build(rect.Quadrant(q), depth+1, routed[q])
-		n.children[q] = child
-		for sc := 0; sc < service.NumScenarios; sc++ {
-			n.treeUB[sc] += child.treeUB[sc]
+		crect := rect.Quadrant(q)
+		if len(routed[q]) >= parallelBuildCutoff && b.acquireSlot() {
+			wg.Add(1)
+			go func(q int, ents []Entry) {
+				defer wg.Done()
+				n.children[q] = b.build(crect, depth+1, ents)
+				b.slots.Add(1)
+			}(q, routed[q])
+		} else {
+			n.children[q] = b.build(crect, depth+1, routed[q])
+		}
+	}
+	wg.Wait()
+	// Merge after the joins, in quadrant order, so the floating-point
+	// accumulation matches the serial build bit for bit.
+	for q := 0; q < 4; q++ {
+		if c := n.children[q]; c != nil {
+			for sc := 0; sc < service.NumScenarios; sc++ {
+				n.treeUB[sc] += c.treeUB[sc]
+			}
 		}
 	}
 	return n
@@ -400,25 +464,63 @@ func (t *Tree) AncestorsCanServe(sc service.Scenario) bool {
 	}
 }
 
+// ivScratchPool recycles the Morton-interval scratch NodeCandidates
+// hands to the z-list pruning. A stack array would escape through the
+// zorder call, costing one heap allocation per visited node on the query
+// hot path; the pool makes the steady state allocation-free and keeps
+// NodeCandidates safe for concurrent readers.
+var ivScratchPool = sync.Pool{
+	New: func() any {
+		s := make([]zorder.Interval, 0, coverBudget)
+		return &s
+	},
+}
+
+// EntryVisitor receives the entries surviving zReduce. Implementing it
+// on a reusable struct (instead of passing a closure) keeps the query
+// hot path free of per-node closure allocations.
+type EntryVisitor interface {
+	VisitEntry(*Entry)
+}
+
+// funcVisitor adapts a plain callback to EntryVisitor for callers that
+// are not allocation-sensitive.
+type funcVisitor struct{ fn func(*Entry) }
+
+func (v funcVisitor) VisitEntry(e *Entry) { v.fn(e) }
+
 // NodeCandidates runs the zReduce pruning over n's own list and calls fn
-// for every surviving entry.
+// for every surviving entry. It only reads the tree and is safe to call
+// from concurrent goroutines. Hot paths should prefer NodeCandidatesV
+// with a reused visitor: the closure here costs an allocation per call.
 func (t *Tree) NodeCandidates(n *Node, embr geo.Rect, mode FilterMode, fn func(*Entry)) {
+	t.NodeCandidatesV(n, embr, mode, funcVisitor{fn})
+}
+
+// NodeCandidatesV is NodeCandidates with the surviving entries delivered
+// to v.VisitEntry.
+func (t *Tree) NodeCandidatesV(n *Node, embr geo.Rect, mode FilterMode, v EntryVisitor) {
 	var ivs []zorder.Interval
-	var buf [coverBudget]zorder.Interval
+	var scratch *[]zorder.Interval
 	if mode == NeedBoth && t.opts.Ordering == ZOrder {
+		scratch = ivScratchPool.Get().(*[]zorder.Interval)
+		buf := (*scratch)[:0]
 		if n.list.len() >= coverMinList {
 			// Decomposing the EMBR into Morton intervals only pays off
 			// when there are enough buckets to skip.
-			ivs = zorder.CoverIntervalsAuto(t.bounds, embr, coverBudget, buf[:0])
+			ivs = zorder.CoverIntervalsAuto(t.bounds, embr, coverBudget, buf)
 		} else {
-			buf[0] = zorder.Interval{
+			ivs = append(buf, zorder.Interval{
 				Lo: pointCode(t.bounds, geo.Point{X: embr.MinX, Y: embr.MinY}),
 				Hi: pointCode(t.bounds, geo.Point{X: embr.MaxX, Y: embr.MaxY}),
-			}
-			ivs = buf[:1]
+			})
 		}
 	}
-	n.list.candidates(embr, ivs, mode, fn)
+	n.list.candidates(embr, ivs, mode, v)
+	if scratch != nil {
+		*scratch = ivs[:0]
+		ivScratchPool.Put(scratch)
+	}
 }
 
 // coverBudget bounds the Morton interval decomposition of an EMBR;

@@ -134,6 +134,10 @@ type IndexOptions struct {
 	// Bounds fixes the root space; the zero Rect derives it from the
 	// data. Fix it generously when inserting after construction.
 	Bounds Rect
+	// Parallelism bounds the goroutines index construction may use
+	// (0 means GOMAXPROCS, 1 forces serial). The built index is
+	// identical regardless of the setting.
+	Parallelism int
 }
 
 // Index is a TQ-tree over a set of user trajectories, answering both
@@ -150,11 +154,12 @@ func NewIndex(users []*Trajectory, opts IndexOptions) (*Index, error) {
 		return nil, err
 	}
 	tree, err := tqtree.Build(users, tqtree.Options{
-		Variant:  opts.Variant,
-		Ordering: opts.Ordering,
-		Beta:     opts.Beta,
-		MaxDepth: opts.MaxDepth,
-		Bounds:   opts.Bounds,
+		Variant:     opts.Variant,
+		Ordering:    opts.Ordering,
+		Beta:        opts.Beta,
+		MaxDepth:    opts.MaxDepth,
+		Bounds:      opts.Bounds,
+		Parallelism: opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -215,6 +220,25 @@ func (x *Index) TopK(facilities []*Facility, k int, q Query) ([]Ranked, error) {
 // TopKWithMetrics is TopK returning work metrics for diagnostics.
 func (x *Index) TopKWithMetrics(facilities []*Facility, k int, q Query) ([]Ranked, QueryMetrics, error) {
 	return x.engine.TopK(facilities, k, q.params())
+}
+
+// ServiceValues computes the exact service value of every facility in
+// one batch, sharding the work across a pool of `workers` goroutines
+// (workers <= 0 uses GOMAXPROCS). The result is indexed like facilities
+// and identical to calling ServiceValue in a loop. A built index is
+// safe for any number of concurrent readers; do not Insert/Delete
+// concurrently with queries.
+func (x *Index) ServiceValues(facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.engine.ServiceValues(facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopKParallel is TopK with up to `workers` best-first exploration steps
+// run concurrently per round. The answer is identical to TopK; spare
+// cores buy wall-clock speed at the cost of some speculative work.
+func (x *Index) TopKParallel(facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.engine.TopKParallel(facilities, k, q.params(), workers)
+	return res, err
 }
 
 // CoverageAlgorithm selects the MaxkCovRST solver.

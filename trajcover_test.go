@@ -45,6 +45,48 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+func TestPublicAPIBatchExecutor(t *testing.T) {
+	users, routes := smallWorkload(t)
+	idx, err := NewIndex(users, IndexOptions{Ordering: ZOrdering, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Scenario: Binary, Psi: DefaultPsi}
+	vals, err := idx.ServiceValues(routes, q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(routes) {
+		t.Fatalf("ServiceValues returned %d values for %d routes", len(vals), len(routes))
+	}
+	for i, f := range routes {
+		direct, err := idx.ServiceValue(f, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals[i] != direct {
+			t.Fatalf("route %d: batch %v != direct %v", i, vals[i], direct)
+		}
+	}
+	want, err := idx.TopK(routes, 8, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := idx.TopKParallel(routes, 8, q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("TopKParallel returned %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Facility.ID != want[i].Facility.ID || got[i].Service != want[i].Service {
+			t.Fatalf("rank %d: parallel (%d, %v) != serial (%d, %v)",
+				i, got[i].Facility.ID, got[i].Service, want[i].Facility.ID, want[i].Service)
+		}
+	}
+}
+
 func TestPublicAPIBaselineAgrees(t *testing.T) {
 	users, routes := smallWorkload(t)
 	idx, err := NewIndex(users, IndexOptions{})
