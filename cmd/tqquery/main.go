@@ -7,6 +7,7 @@
 //	tqquery -users trips.csv -routes routes.csv -query topk -k 8 -psi 300
 //	tqquery -users trips.csv -routes routes.csv -query maxcov -k 4 -alg genetic
 //	tqquery -users checkins.csv -routes routes.csv -variant full -scenario pointcount -query topk
+//	tqquery -users trips.csv -routes routes.csv -query topk -shards 4 -partitioner grid
 package main
 
 import (
@@ -40,6 +41,8 @@ func run(args []string, w io.Writer) error {
 		k          = fs.Int("k", 8, "number of facilities to return/choose")
 		psi        = fs.Float64("psi", 300, "serving distance threshold ψ")
 		facility   = fs.Int("facility", -1, "facility id (query=service)")
+		shards     = fs.Int("shards", 1, "partition users across this many TQ-trees (scatter-gather serving)")
+		partition  = fs.String("partitioner", "hash", "shard partitioner: hash|grid")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,9 +93,41 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
 
-	idx, err := trajcover.NewIndex(users, opts)
-	if err != nil {
-		return err
+	// Both Index and ShardedIndex answer topk/service; MaxkCovRST remains
+	// single-tree (its coverage solvers need one engine's coverage masks).
+	var idx interface {
+		TopK([]*trajcover.Facility, int, trajcover.Query) ([]trajcover.Ranked, error)
+		ServiceValue(*trajcover.Facility, trajcover.Query) (float64, error)
+	}
+	var single *trajcover.Index
+	if *shards > 1 {
+		var part trajcover.Partitioner
+		switch *partition {
+		case "hash":
+			part = trajcover.HashPartitioner()
+		case "grid":
+			part = trajcover.GridPartitioner()
+		default:
+			return fmt.Errorf("unknown partitioner %q", *partition)
+		}
+		if *queryKind == "maxcov" {
+			return fmt.Errorf("query=maxcov is not supported with -shards > 1; omit -shards")
+		}
+		sidx, err := trajcover.NewShardedIndex(users, trajcover.ShardOptions{
+			Shards: *shards, Partitioner: part, Index: opts,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "sharded into %d TQ-trees (%s): sizes %v\n", sidx.NumShards(), *partition, sidx.ShardSizes())
+		idx = sidx
+	} else {
+		s, err := trajcover.NewIndex(users, opts)
+		if err != nil {
+			return err
+		}
+		single = s
+		idx = s
 	}
 
 	switch *queryKind {
@@ -121,7 +156,7 @@ func run(args []string, w io.Writer) error {
 		default:
 			return fmt.Errorf("unknown algorithm %q", *alg)
 		}
-		res, err := idx.MaxCoverage(routes, *k, q, copts)
+		res, err := single.MaxCoverage(routes, *k, q, copts)
 		if err != nil {
 			return err
 		}

@@ -139,3 +139,59 @@ func TestRunMultipointVariants(t *testing.T) {
 		t.Error("twopoint+pointcount over multipoint data did not error")
 	}
 }
+
+// TestRunShardedTopKMatchesSingleTree checks the -shards path answers the
+// same topk as the single-tree path, for both partitioners.
+func TestRunShardedTopKMatchesSingleTree(t *testing.T) {
+	users, routes := writeWorkload(t)
+	var single strings.Builder
+	if err := run([]string{"-users", users, "-routes", routes, "-query", "topk", "-k", "5"}, &single); err != nil {
+		t.Fatal(err)
+	}
+	wantRows := resultRows(single.String())
+	for _, part := range []string{"hash", "grid"} {
+		var out strings.Builder
+		err := run([]string{
+			"-users", users, "-routes", routes, "-query", "topk", "-k", "5",
+			"-shards", "4", "-partitioner", part,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "sharded into 4 TQ-trees") {
+			t.Errorf("%s: missing shard line:\n%s", part, got)
+		}
+		if gotRows := resultRows(got); gotRows != wantRows {
+			t.Errorf("%s: sharded results differ:\n%s\nwant:\n%s", part, gotRows, wantRows)
+		}
+	}
+}
+
+// resultRows extracts the ranked result lines ("  1. route ...") from
+// tqquery output so sharded and single runs can be compared directly.
+func resultRows(out string) string {
+	var rows []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, ". route ") {
+			rows = append(rows, strings.TrimSpace(line))
+		}
+	}
+	return strings.Join(rows, "\n")
+}
+
+// TestRunShardedRejections covers the sharded-mode error paths.
+func TestRunShardedRejections(t *testing.T) {
+	users, routes := writeWorkload(t)
+	var out strings.Builder
+	if err := run([]string{
+		"-users", users, "-routes", routes, "-query", "maxcov", "-shards", "2",
+	}, &out); err == nil {
+		t.Error("maxcov with shards accepted")
+	}
+	if err := run([]string{
+		"-users", users, "-routes", routes, "-query", "topk", "-shards", "2", "-partitioner", "nope",
+	}, &out); err == nil {
+		t.Error("unknown partitioner accepted")
+	}
+}

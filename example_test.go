@@ -75,6 +75,53 @@ func ExampleIndex_MaxCoverage() {
 	// 3 users served by 2 routes
 }
 
+// ExampleIndex_TopKParallel answers the same kMaxRRST query as TopK with
+// concurrent best-first relaxations — identical results, scaled across
+// cores (workers <= 0 uses GOMAXPROCS).
+func ExampleIndex_TopKParallel() {
+	users, routes := exampleWorkload()
+	idx, err := trajcover.NewIndex(users, trajcover.IndexOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := idx.TopKParallel(routes, 2, trajcover.Query{Scenario: trajcover.Binary, Psi: 10}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range top {
+		fmt.Printf("route %d serves %.0f commuters\n", r.Facility.ID, r.Service)
+	}
+	// Output:
+	// route 1 serves 2 commuters
+	// route 2 serves 1 commuters
+}
+
+// Example_shardedIndex partitions commuters across several TQ-trees and
+// answers the same query by scatter-gather — the serving shape for
+// datasets too large for one tree. Results match the single-tree index.
+func Example_shardedIndex() {
+	users, routes := exampleWorkload()
+	idx, err := trajcover.NewShardedIndex(users, trajcover.ShardOptions{
+		Shards:      2,
+		Partitioner: trajcover.HashPartitioner(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d commuters across %d shards\n", idx.Len(), idx.NumShards())
+	top, err := idx.TopK(routes, 2, trajcover.Query{Scenario: trajcover.Binary, Psi: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range top {
+		fmt.Printf("route %d serves %.0f commuters\n", r.Facility.ID, r.Service)
+	}
+	// Output:
+	// 3 commuters across 2 shards
+	// route 1 serves 2 commuters
+	// route 2 serves 1 commuters
+}
+
 // ExampleIndex_ServedUsers lists exactly which commuters a route serves.
 func ExampleIndex_ServedUsers() {
 	users, routes := exampleWorkload()

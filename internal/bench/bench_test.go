@@ -26,6 +26,7 @@ func TestRegistryCoversEveryFigure(t *testing.T) {
 		"scaling",
 		"thrpt",
 		"pbuild",
+		"shards",
 	}
 	reg := Registry()
 	have := map[string]bool{}
@@ -91,13 +92,20 @@ func TestThroughputExperimentSmoke(t *testing.T) {
 		t.Skip("timing experiment in -short mode")
 	}
 	ctx := NewContext(tinyConfig())
-	for _, run := range []func(*Context) (*Table, error){expThroughput, expParallelBuild} {
-		table, err := run(ctx)
+	for _, tc := range []struct {
+		run  func(*Context) (*Table, error)
+		axis []int
+	}{
+		{expThroughput, workerAxis},
+		{expParallelBuild, workerAxis},
+		{expShards, shardAxis},
+	} {
+		table, err := tc.run(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(table.XTicks) != len(workerAxis) {
-			t.Fatalf("%s: %d ticks, want %d", table.ID, len(table.XTicks), len(workerAxis))
+		if len(table.XTicks) != len(tc.axis) {
+			t.Fatalf("%s: %d ticks, want %d", table.ID, len(table.XTicks), len(tc.axis))
 		}
 		for _, s := range table.Series {
 			if len(s.Y) != len(table.XTicks) {

@@ -7,6 +7,7 @@ import (
 	"github.com/trajcover/trajcover/internal/maxcov"
 	"github.com/trajcover/trajcover/internal/query"
 	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/shard"
 	"github.com/trajcover/trajcover/internal/tqtree"
 	"github.com/trajcover/trajcover/internal/trajectory"
 )
@@ -54,7 +55,66 @@ func Registry() []Experiment {
 		{ID: "scaling", Title: "extra — BL/TQ(Z) gap growth with dataset scale (not in the paper)", Run: expScaling},
 		{ID: "thrpt", Title: "extra — batch kMaxRRST throughput vs worker count (NYT, not in the paper)", Run: expThroughput},
 		{ID: "pbuild", Title: "extra — TQ(Z) construction time vs build parallelism (NYT, not in the paper)", Run: expParallelBuild},
+		{ID: "shards", Title: "extra — sharded scatter-gather build time and throughput vs shard count (NYT, not in the paper)", Run: expShards},
 	}
+}
+
+// shardAxis sweeps the number of TQ-tree shards.
+var shardAxis = []int{1, 2, 4, 8}
+
+// expShards measures the sharded serving path: index build time,
+// ServiceValues batch throughput, and scatter-gather kMaxRRST (TopK)
+// throughput as the shard count grows. The build series is in seconds;
+// the query series are queries/sec. On one core the query series should
+// stay roughly flat (scatter-gather adds only heap overhead); on n cores
+// builds parallelize across shards and per-shard batches share the
+// worker pool.
+func expShards(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID: "shards", Title: "sharded scatter-gather vs shard count (NYT)",
+		XLabel: "shards", YLabel: "queries/sec (build series: seconds)",
+		Series: []Series{{Method: "build(s)"}, {Method: "ServiceValues"}, {Method: "TopKPar"}},
+	}
+	users := ctx.Users(dsNYT, datagen.NYT1Day)
+	fs := ctx.Routes("ny", defaultFacilities, defaultStops)
+	p := ctx.Params(service.Binary)
+	for _, n := range shardAxis {
+		opts := shard.Options{Shards: n, Tree: tqtree.Options{
+			Variant: tqtree.TwoPoint, Ordering: tqtree.ZOrder,
+		}}
+		var s *shard.Sharded
+		var berr error
+		buildSec := ctx.Time(func() {
+			s, berr = shard.Build(users.All, opts)
+		})
+		if berr != nil {
+			return nil, berr
+		}
+		var qerr error
+		svSec := ctx.Time(func() {
+			if _, _, e := s.ServiceValues(fs, p, 0); e != nil {
+				qerr = e
+			}
+		})
+		tkSec := ctx.Time(func() {
+			if _, _, e := s.TopKParallel(fs, defaultK, p, 0); e != nil {
+				qerr = e
+			}
+		})
+		if qerr != nil {
+			return nil, qerr
+		}
+		svQPS, tkQPS := 0.0, 0.0
+		if svSec > 0 {
+			svQPS = float64(len(fs)) / svSec
+		}
+		if tkSec > 0 {
+			tkQPS = 1 / tkSec
+		}
+		t.XTicks = append(t.XTicks, fmt.Sprint(n))
+		appendRow(t, buildSec, svQPS, tkQPS)
+	}
+	return t, nil
 }
 
 // workerAxis sweeps the batch executor's pool size.

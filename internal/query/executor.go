@@ -37,8 +37,9 @@ func resolveWorkers(workers, items int) int {
 	return workers
 }
 
-// add accumulates other into m.
-func (m *Metrics) add(other Metrics) {
+// Add accumulates other into m — used wherever per-worker or per-shard
+// metrics are merged into a caller's total.
+func (m *Metrics) Add(other Metrics) {
 	m.NodesVisited += other.NodesVisited
 	m.EntriesScored += other.EntriesScored
 	m.Relaxations += other.Relaxations
@@ -94,7 +95,7 @@ func (e *Engine) ServiceValues(facilities []*trajectory.Facility, p Params, work
 	}
 	wg.Wait()
 	for _, wm := range perWorker {
-		m.add(wm)
+		m.Add(wm)
 	}
 	return out, m, nil
 }
@@ -193,7 +194,7 @@ func (e *Engine) TopKParallel(facilities []*trajectory.Facility, k int, p Params
 		}
 	}
 	for _, wm := range perWorker {
-		m.add(wm)
+		m.Add(wm)
 	}
 	return results, m, nil
 }

@@ -53,7 +53,7 @@ func TestServiceValuesMatchesSerial(t *testing.T) {
 					t.Fatal(err)
 				}
 				want[i] = v
-				wantM.add(m)
+				wantM.Add(m)
 			}
 			for _, workers := range []int{0, 1, 3, 8} {
 				got, gotM, err := eng.ServiceValues(fs, p, workers)

@@ -1,0 +1,118 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/tqtree"
+)
+
+// TestExplorerMatchesServiceValue checks the Explorer invariants — exact
+// value on completion, monotone bounds — against the direct Algorithm 1
+// evaluation, across variants and scenarios.
+func TestExplorerMatchesServiceValue(t *testing.T) {
+	users := makeUsers(1500, 4, 42)
+	facilities := makeFacilities(25, 10, 43)
+	for _, cfg := range validConfigs(true) {
+		tree, err := tqtree.Build(users.All, tqtree.Options{
+			Variant: cfg.variant, Ordering: cfg.ordering, Bounds: testBounds,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine(tree, users)
+		p := Params{Scenario: cfg.scenario, Psi: 35}
+		for _, f := range facilities {
+			want, _, err := eng.ServiceValue(f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, err := eng.NewExplorer(f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m Metrics
+			prevUpper := x.UpperBound()
+			prevOpt := x.Optimistic()
+			prevExact := x.Exact()
+			for !x.Done() {
+				x.Relax(&m)
+				if x.Optimistic() > prevOpt+1e-9 {
+					t.Fatalf("%v: optimistic remainder grew: %v -> %v", cfg, prevOpt, x.Optimistic())
+				}
+				if x.Exact() < prevExact-1e-9 {
+					t.Fatalf("%v: exact value shrank: %v -> %v", cfg, prevExact, x.Exact())
+				}
+				if x.UpperBound() > prevUpper+1e-9 {
+					t.Fatalf("%v: upper bound grew: %v -> %v", cfg, prevUpper, x.UpperBound())
+				}
+				prevUpper, prevOpt, prevExact = x.UpperBound(), x.Optimistic(), x.Exact()
+			}
+			// Binary service values are integral, so the two evaluation
+			// orders must agree exactly; fractional scenarios may differ
+			// by float summation order.
+			got := x.Exact()
+			tol := 0.0
+			if cfg.scenario != service.Binary {
+				tol = 1e-9 * (1 + want)
+			}
+			if diff := got - want; diff > tol || diff < -tol {
+				t.Fatalf("%v facility %d: explorer exact %v, ServiceValue %v",
+					cfg, f.ID, got, want)
+			}
+			if m.Relaxations == 0 && want > 0 {
+				t.Fatalf("%v facility %d: positive service with no relaxations", cfg, f.ID)
+			}
+		}
+	}
+}
+
+// TestExplorerRun checks the run-to-completion convenience path and that
+// Relax on a Done explorer is a no-op.
+func TestExplorerRun(t *testing.T) {
+	users := makeUsers(500, 2, 7)
+	facilities := makeFacilities(5, 8, 8)
+	tree, err := tqtree.Build(users.All, tqtree.Options{Bounds: testBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(tree, users)
+	p := Params{Scenario: service.Binary, Psi: 50}
+	for _, f := range facilities {
+		want, _, err := eng.ServiceValue(f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := eng.NewExplorer(f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Metrics
+		if got := x.Run(&m); got != want {
+			t.Fatalf("facility %d: Run %v, want %v", f.ID, got, want)
+		}
+		before := m
+		x.Relax(&m)
+		if m != before {
+			t.Fatalf("facility %d: Relax after Done did work: %+v -> %+v", f.ID, before, m)
+		}
+	}
+}
+
+// TestExplorerValidates checks that bad parameters are rejected at
+// construction, matching the engine entry points.
+func TestExplorerValidates(t *testing.T) {
+	users := makeUsers(100, 2, 9)
+	f := makeFacilities(1, 4, 10)[0]
+	tree, err := tqtree.Build(users.All, tqtree.Options{Bounds: testBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(tree, users)
+	if _, err := eng.NewExplorer(f, Params{Scenario: service.Scenario(99), Psi: 1}); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+	if _, err := eng.NewExplorer(f, Params{Scenario: service.Binary, Psi: -1}); err == nil {
+		t.Fatal("negative psi accepted")
+	}
+}

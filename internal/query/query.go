@@ -29,6 +29,11 @@ type Params struct {
 	Psi float64
 }
 
+// Validate checks the parameters independently of any tree — exposed for
+// layers (e.g. internal/shard) that validate once before fanning a query
+// out to several engines.
+func (p Params) Validate() error { return p.validate() }
+
 func (p Params) validate() error {
 	if !p.Scenario.Valid() {
 		return fmt.Errorf("query: invalid scenario %d", int(p.Scenario))

@@ -1,0 +1,318 @@
+// Package shard partitions a trajectory corpus across several TQ-trees
+// and serves kMaxRRST queries by scatter-gather: a query fans out to
+// every shard, per-shard best-first explorations stream candidates into a
+// global k-heap, and each shard's upper bounds prune exploration the
+// global kth answer makes irrelevant — the paper's branch-and-bound
+// lifted one level up.
+//
+// Sharding is what keeps datasets larger than one tree's comfortable
+// in-memory size — and rebuilds — from being monolithic: shards build in
+// parallel, rebuild independently, and answer concurrently. Because user
+// trajectories are disjoint across shards, a facility's service value is
+// the sum of its per-shard service values, so the merged answers match
+// the single-tree path (exactly for integral scenarios such as Binary;
+// up to float summation order otherwise).
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/query"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// Options configures Build.
+type Options struct {
+	// Shards is the number of TQ-trees to partition across. 0 means 1.
+	Shards int
+	// Partitioner assigns trajectories to shards. nil means Hash{}.
+	Partitioner Partitioner
+	// Tree configures every shard's TQ-tree. Tree.Bounds is extended to
+	// the union of the data so all shards share one root space;
+	// Tree.Parallelism is the total goroutine budget across all shard
+	// builds (0 means GOMAXPROCS).
+	Tree tqtree.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Partitioner == nil {
+		o.Partitioner = Hash{}
+	}
+	return o
+}
+
+// oneShard is one partition: its trajectory set and the engine over its
+// TQ-tree.
+type oneShard struct {
+	set    *trajectory.Set
+	engine *query.Engine
+}
+
+// Sharded is a set of TQ-trees jointly indexing one trajectory corpus,
+// answering the same queries as a single tree by scatter-gather.
+type Sharded struct {
+	opts   Options
+	bounds geo.Rect
+	shards []oneShard
+}
+
+// Build partitions users with opts.Partitioner and builds one TQ-tree
+// per shard, constructing shards in parallel within the
+// opts.Tree.Parallelism goroutine budget. Duplicate IDs are rejected
+// across the whole corpus, exactly as a single-tree build would.
+func Build(users []*trajectory.Trajectory, opts Options) (*Sharded, error) {
+	opts = opts.withDefaults()
+	seen := make(map[trajectory.ID]struct{}, len(users))
+	for _, u := range users {
+		if _, dup := seen[u.ID]; dup {
+			return nil, fmt.Errorf("shard: duplicate id %d", u.ID)
+		}
+		seen[u.ID] = struct{}{}
+	}
+	bounds := opts.Tree.Bounds
+	for _, u := range users {
+		bounds = bounds.ExtendRect(u.MBR())
+	}
+	parts := make([][]*trajectory.Trajectory, opts.Shards)
+	for _, u := range users {
+		i := clampShard(opts.Partitioner.Assign(u, bounds, opts.Shards), opts.Shards)
+		parts[i] = append(parts[i], u)
+	}
+	return fromParts(parts, bounds, opts)
+}
+
+// FromPartition builds a Sharded from an existing per-shard partition —
+// the snapshot restore path, which must reproduce the recorded partition
+// without re-running the partitioner. Unlike Build, a nil
+// opts.Partitioner is kept nil (the partition may have been produced by
+// a partitioner this build does not know); such an index serves queries
+// but rejects Inserts.
+func FromPartition(parts [][]*trajectory.Trajectory, opts Options) (*Sharded, error) {
+	opts.Shards = len(parts)
+	if opts.Shards == 0 {
+		return nil, fmt.Errorf("shard: empty partition")
+	}
+	// IDs must be unique across the whole corpus, not just within each
+	// part — per-shard sets only catch intra-shard duplicates, and a
+	// cross-shard duplicate would be double-counted by every query.
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	seen := make(map[trajectory.ID]struct{}, total)
+	bounds := opts.Tree.Bounds
+	for _, part := range parts {
+		for _, u := range part {
+			if _, dup := seen[u.ID]; dup {
+				return nil, fmt.Errorf("shard: duplicate id %d across shards", u.ID)
+			}
+			seen[u.ID] = struct{}{}
+			bounds = bounds.ExtendRect(u.MBR())
+		}
+	}
+	return fromParts(parts, bounds, opts)
+}
+
+// fromParts builds every shard's set and tree. Shards build concurrently
+// — each over a disjoint trajectory slice — with the total goroutine
+// budget split between cross-shard fan-out and each tree's own parallel
+// build, so Tree.Parallelism bounds live goroutines whichever way the
+// shards divide the work.
+func fromParts(parts [][]*trajectory.Trajectory, bounds geo.Rect, opts Options) (*Sharded, error) {
+	budget := opts.Tree.Parallelism
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	across := budget
+	if across > len(parts) {
+		across = len(parts)
+	}
+	perTree := budget / across
+	if perTree < 1 {
+		perTree = 1
+	}
+	treeOpts := opts.Tree
+	treeOpts.Bounds = bounds
+	treeOpts.Parallelism = perTree
+
+	s := &Sharded{opts: opts, bounds: bounds, shards: make([]oneShard, len(parts))}
+	sem := make(chan struct{}, across)
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, part []*trajectory.Trajectory) {
+			defer func() { <-sem; wg.Done() }()
+			set, err := trajectory.NewSet(part)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			tree, err := tqtree.Build(part, treeOpts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			s.shards[i] = oneShard{set: set, engine: query.NewEngine(tree, set)}
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func clampShard(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Len returns the total number of indexed trajectories.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.set.Len()
+	}
+	return n
+}
+
+// Sizes returns the number of trajectories in each shard.
+func (s *Sharded) Sizes() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.set.Len()
+	}
+	return out
+}
+
+// Bounds returns the shared root space of every shard's tree.
+func (s *Sharded) Bounds() geo.Rect { return s.bounds }
+
+// Engine returns the query engine of shard i — for diagnostics and for
+// per-shard maintenance (the rebuild-and-swap path operates one shard at
+// a time).
+func (s *Sharded) Engine(i int) *query.Engine { return s.shards[i].engine }
+
+// PartitionerKind returns the configured partitioner's kind, or "" when
+// none survives (a snapshot restored from an unknown custom kind).
+func (s *Sharded) PartitionerKind() string {
+	if s.opts.Partitioner == nil {
+		return ""
+	}
+	return s.opts.Partitioner.Kind()
+}
+
+// Partition returns each shard's trajectories, in shard order — the
+// payload a snapshot records.
+func (s *Sharded) Partition() [][]*trajectory.Trajectory {
+	out := make([][]*trajectory.Trajectory, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.set.All
+	}
+	return out
+}
+
+// ByID returns the trajectory with the given id from whichever shard
+// holds it, or nil.
+func (s *Sharded) ByID(id trajectory.ID) *trajectory.Trajectory {
+	for _, sh := range s.shards {
+		if t := sh.set.ByID(id); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// Insert routes a trajectory to its shard and inserts it there. Like the
+// single-tree Insert it is not safe concurrently with queries — but only
+// the target shard is touched, so serving systems can quiesce one shard
+// at a time. Restored snapshots of unknown partitioner kinds reject
+// Inserts: the recorded partition could not be extended consistently.
+func (s *Sharded) Insert(u *trajectory.Trajectory) error {
+	if s.opts.Partitioner == nil {
+		return fmt.Errorf("shard: index restored with unknown partitioner; cannot insert")
+	}
+	if s.ByID(u.ID) != nil {
+		return fmt.Errorf("shard: duplicate id %d", u.ID)
+	}
+	i := clampShard(s.opts.Partitioner.Assign(u, s.bounds, len(s.shards)), len(s.shards))
+	if err := s.shards[i].set.Add(u); err != nil {
+		return err
+	}
+	s.shards[i].engine.Tree().Insert(u)
+	return nil
+}
+
+// validate checks the query parameters and their compatibility with
+// every shard's tree — scenario validity depends on per-shard data (a
+// TwoPoint tree over multipoint data answers Binary only), so all shards
+// are consulted.
+func (s *Sharded) validate(p query.Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		if err := sh.engine.Tree().ValidateScenario(p.Scenario); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServiceValue computes SO(U, f) as the sum of per-shard service values,
+// accumulated in shard order so the answer is deterministic.
+func (s *Sharded) ServiceValue(f *trajectory.Facility, p Params) (float64, query.Metrics, error) {
+	var m query.Metrics
+	var so float64
+	for _, sh := range s.shards {
+		v, sm, err := sh.engine.ServiceValue(f, p)
+		if err != nil {
+			return 0, m, err
+		}
+		so += v
+		m.Add(sm)
+	}
+	return so, m, nil
+}
+
+// ServiceValues computes the exact service value of every facility by
+// scattering the batch to every shard and summing per-shard answers in
+// shard order. Each shard's batch runs on the shared worker budget; the
+// output is indexed like facilities and deterministic.
+func (s *Sharded) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, query.Metrics, error) {
+	var m query.Metrics
+	out := make([]float64, len(facilities))
+	for _, sh := range s.shards {
+		vs, sm, err := sh.engine.ServiceValues(facilities, p, workers)
+		if err != nil {
+			return nil, m, err
+		}
+		for i, v := range vs {
+			out[i] += v
+		}
+		m.Add(sm)
+	}
+	return out, m, nil
+}
+
+// Params re-exports the query parameter bundle for shard callers.
+type Params = query.Params

@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+
+	"github.com/trajcover/trajcover/internal/query"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// This file implements the scatter-gather kMaxRRST merge: one best-first
+// exploration per (facility, shard), scheduled by a single global k-heap
+// keyed on the facility's summed upper bound. The search is the paper's
+// branch-and-bound lifted one level up:
+//
+//   - A facility's upper bound is the sum of its per-shard upper bounds
+//     (exact-so-far + optimistic remainder). Shards partition the users,
+//     so the sum bounds the true global service value.
+//   - Popping the heap picks the facility that could still win; within
+//     it, only the shard with the largest optimistic remainder is
+//     relaxed. Shards whose remainder has reached zero — including
+//     shards the facility's EMBR barely touches, whose root `sub` bounds
+//     start near zero — are never explored again: the shard-prune.
+//   - A facility is emitted only when every shard's remainder is zero,
+//     so its reported value is exact, and the emission order (value
+//     descending, ID ascending on ties) matches the single-tree TopK.
+
+// facState is one facility's scatter state: its per-shard explorers and
+// the cached bound sums the heap orders by.
+type facState struct {
+	fac   *trajectory.Facility
+	exps  []*query.Explorer
+	exact float64 // Σ per-shard Exact
+	opt   float64 // Σ per-shard Optimistic
+	index int     // heap bookkeeping
+}
+
+func (f *facState) upper() float64 { return f.exact + f.opt }
+
+// relax advances the shard exploration with the largest optimistic
+// remainder by one round and refreshes the cached sums.
+func (f *facState) relax(m *query.Metrics) {
+	best := -1
+	for i, x := range f.exps {
+		if x.Done() {
+			continue
+		}
+		if best < 0 || x.Optimistic() > f.exps[best].Optimistic() {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	f.exps[best].Relax(m)
+	f.refresh()
+}
+
+func (f *facState) refresh() {
+	f.exact, f.opt = 0, 0
+	for _, x := range f.exps {
+		f.exact += x.Exact()
+		f.opt += x.Optimistic()
+	}
+}
+
+func (f *facState) done() bool { return f.opt == 0 }
+
+// facHeap is a max-heap on upper() with facility ID as the deterministic
+// tie-break — the same ordering as the single-tree state heap.
+type facHeap []*facState
+
+func (h facHeap) Len() int { return len(h) }
+func (h facHeap) Less(i, j int) bool {
+	if h[i].upper() != h[j].upper() {
+		return h[i].upper() > h[j].upper()
+	}
+	return h[i].fac.ID < h[j].fac.ID
+}
+func (h facHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *facHeap) Push(x any) {
+	f := x.(*facState)
+	f.index = len(*h)
+	*h = append(*h, f)
+}
+func (h *facHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return f
+}
+
+// newFacState seeds one facility's exploration on every shard. Shards
+// with an empty tree contribute a zero upper bound and start Done, so
+// they cost nothing beyond the seed.
+func (s *Sharded) newFacState(f *trajectory.Facility, p Params) (*facState, error) {
+	fs := &facState{fac: f, exps: make([]*query.Explorer, 0, len(s.shards))}
+	for _, sh := range s.shards {
+		x, err := sh.engine.NewExplorer(f, p)
+		if err != nil {
+			return nil, err
+		}
+		fs.exps = append(fs.exps, x)
+	}
+	fs.refresh()
+	return fs, nil
+}
+
+// TopK answers kMaxRRST over the sharded index: the k facilities with
+// the highest total service value, best first. Answers match the
+// single-tree TopK (exactly for integral scenarios such as Binary; up to
+// floating-point summation order otherwise).
+func (s *Sharded) TopK(facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
+	var m query.Metrics
+	h, k, err := s.seedHeap(facilities, k, p)
+	if err != nil || k == 0 {
+		return nil, m, err
+	}
+	results := make([]query.Result, 0, k)
+	for h.Len() > 0 && len(results) < k {
+		fs := heap.Pop(h).(*facState)
+		if fs.done() {
+			results = append(results, query.Result{Facility: fs.fac, Service: fs.exact})
+			continue
+		}
+		fs.relax(&m)
+		heap.Push(h, fs)
+	}
+	return results, m, nil
+}
+
+// TopKParallel is TopK with up to `workers` facility relaxations run
+// concurrently per round (each relaxation touches only that facility's
+// per-shard explorers, and trees are immutable under queries, so the
+// batch shares no mutable state). Results are identical to TopK; the
+// speculative extra relaxations buy wall-clock time, exactly as in the
+// single-tree executor. workers <= 1 falls back to the serial TopK.
+func (s *Sharded) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(facilities) {
+		workers = len(facilities)
+	}
+	if workers <= 1 {
+		return s.TopK(facilities, k, p)
+	}
+	var m query.Metrics
+	h, k, err := s.seedHeap(facilities, k, p)
+	if err != nil || k == 0 {
+		return nil, m, err
+	}
+	results := make([]query.Result, 0, k)
+	batch := make([]*facState, 0, workers)
+	perWorker := make([]query.Metrics, workers)
+	for h.Len() > 0 && len(results) < k {
+		fs := heap.Pop(h).(*facState)
+		if fs.done() {
+			results = append(results, query.Result{Facility: fs.fac, Service: fs.exact})
+			continue
+		}
+		// Grab more non-final states to relax alongside the top one; a
+		// final state stops the grab — it must be re-examined at the top
+		// of the heap after the batch reorders, not emitted early.
+		batch = append(batch[:0], fs)
+		for len(batch) < workers && h.Len() > 0 {
+			if (*h)[0].done() {
+				break
+			}
+			batch = append(batch, heap.Pop(h).(*facState))
+		}
+		if len(batch) == 1 {
+			fs.relax(&m)
+		} else {
+			var wg sync.WaitGroup
+			for i, bs := range batch {
+				wg.Add(1)
+				go func(i int, bs *facState) {
+					defer wg.Done()
+					bs.relax(&perWorker[i])
+				}(i, bs)
+			}
+			wg.Wait()
+		}
+		for _, bs := range batch {
+			heap.Push(h, bs)
+		}
+	}
+	for _, wm := range perWorker {
+		m.Add(wm)
+	}
+	return results, m, nil
+}
+
+// seedHeap validates the query, clamps k, and seeds the global heap with
+// one facState per facility. The returned k is 0 when there is nothing
+// to do.
+func (s *Sharded) seedHeap(facilities []*trajectory.Facility, k int, p Params) (*facHeap, int, error) {
+	if err := s.validate(p); err != nil {
+		return nil, 0, err
+	}
+	if k <= 0 || len(facilities) == 0 {
+		return nil, 0, nil
+	}
+	if k > len(facilities) {
+		k = len(facilities)
+	}
+	h := make(facHeap, 0, len(facilities))
+	for _, f := range facilities {
+		fs, err := s.newFacState(f, p)
+		if err != nil {
+			return nil, 0, err
+		}
+		h = append(h, fs)
+	}
+	heap.Init(&h)
+	return &h, k, nil
+}

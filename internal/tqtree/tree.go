@@ -399,6 +399,9 @@ func (t *Tree) Ordering() Ordering { return t.opts.Ordering }
 // Beta returns the block size β the tree was built with.
 func (t *Tree) Beta() int { return t.opts.Beta }
 
+// MaxDepth returns the depth bound the tree was built with.
+func (t *Tree) MaxDepth() int { return t.opts.MaxDepth }
+
 // NumTrajectories returns the number of user trajectories indexed.
 func (t *Tree) NumTrajectories() int { return t.numTrajs }
 

@@ -1,0 +1,158 @@
+package trajcover
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestShardedEquivalenceProperty is the PR's acceptance property: for
+// random datasets, the sharded index returns byte-identical answers to
+// the single-tree index across 1/2/4/8 shards and both partitioners.
+// Binary service values are integral, so float64 sums are exact and ==
+// is the right comparison; run under -race this also exercises the
+// concurrent scatter-gather merge.
+func TestShardedEquivalenceProperty(t *testing.T) {
+	city := NewYorkCity()
+	q := Query{Scenario: Binary, Psi: DefaultPsi}
+	for _, seed := range []int64{3, 17, 99} {
+		users := TaxiTrips(city, 1500+500*int(seed%3), seed)
+		routes := BusRoutes(city, 48, 12, seed+1)
+		single, err := NewIndex(users, IndexOptions{Ordering: ZOrdering})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTop, err := single.TopK(routes, 10, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSV, err := single.ServiceValues(routes, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, part := range []Partitioner{HashPartitioner(), GridPartitioner()} {
+			for _, shards := range []int{1, 2, 4, 8} {
+				idx, err := NewShardedIndex(users, ShardOptions{
+					Shards:      shards,
+					Partitioner: part,
+					Index:       IndexOptions{Ordering: ZOrdering},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if idx.NumShards() != shards || idx.Len() != len(users) {
+					t.Fatalf("seed %d %s/%d: %d shards over %d trajectories, want %d over %d",
+						seed, part.Kind(), shards, idx.NumShards(), idx.Len(), shards, len(users))
+				}
+				gotSV, err := idx.ServiceValues(routes, q, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range wantSV {
+					if gotSV[i] != wantSV[i] {
+						t.Fatalf("seed %d %s/%d: facility %d service %v, single-tree %v",
+							seed, part.Kind(), shards, routes[i].ID, gotSV[i], wantSV[i])
+					}
+				}
+				for name, topk := range map[string]func() ([]Ranked, error){
+					"TopK":         func() ([]Ranked, error) { return idx.TopK(routes, 10, q) },
+					"TopKParallel": func() ([]Ranked, error) { return idx.TopKParallel(routes, 10, q, 4) },
+				} {
+					got, err := topk()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(wantTop) {
+						t.Fatalf("seed %d %s/%d %s: %d results, want %d",
+							seed, part.Kind(), shards, name, len(got), len(wantTop))
+					}
+					for i := range wantTop {
+						if got[i].Facility.ID != wantTop[i].Facility.ID ||
+							got[i].Service != wantTop[i].Service {
+							t.Fatalf("seed %d %s/%d %s: rank %d = (%d, %v), single-tree (%d, %v)",
+								seed, part.Kind(), shards, name, i,
+								got[i].Facility.ID, got[i].Service,
+								wantTop[i].Facility.ID, wantTop[i].Service)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedFractionalScenariosStayClose checks the documented float
+// caveat: fractional scenarios (PointCount/Length) agree with the
+// single tree up to summation order, not bit-exactly.
+func TestShardedFractionalScenariosStayClose(t *testing.T) {
+	city := NewYorkCity()
+	users := Checkins(city, 1200, 4, 5)
+	routes := BusRoutes(city, 24, 10, 6)
+	opts := IndexOptions{Variant: FullTrajectory, Ordering: ZOrdering}
+	single, err := NewIndex(users, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewShardedIndex(users, ShardOptions{Shards: 4, Index: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []Scenario{PointCount, Length} {
+		q := Query{Scenario: sc, Psi: DefaultPsi}
+		want, err := single.ServiceValues(routes, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := idx.ServiceValues(routes, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9*(1+want[i]) {
+				t.Fatalf("scenario %v facility %d: %v, want %v", sc, routes[i].ID, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedIndexConcurrentReaders checks a built ShardedIndex is safe
+// for concurrent readers, like the single-tree Index (-race verifies).
+func TestShardedIndexConcurrentReaders(t *testing.T) {
+	city := NewYorkCity()
+	users := TaxiTrips(city, 2000, 8)
+	routes := BusRoutes(city, 32, 10, 9)
+	idx, err := NewShardedIndex(users, ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Scenario: Binary, Psi: DefaultPsi}
+	want, err := idx.TopK(routes, 6, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				got, err := idx.TopKParallel(routes, 6, q, 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range want {
+					if got[i].Facility.ID != want[i].Facility.ID || got[i].Service != want[i].Service {
+						t.Errorf("worker %d: rank %d drifted", w, i)
+						return
+					}
+				}
+				if _, err := idx.ServiceValue(routes[(w+rep)%len(routes)], q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -2,7 +2,9 @@ package trajcover
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"testing"
 )
@@ -48,6 +50,57 @@ func TestSnapshotRoundTrip(t *testing.T) {
 				t.Fatalf("facility %d: original %v, restored %v", f.ID, a, b)
 			}
 		}
+	}
+}
+
+// TestSnapshotPersistsMaxDepth checks the v2 header carries the depth
+// bound, and that a legacy v1 stream (no MaxDepth field) still reads.
+func TestSnapshotPersistsMaxDepth(t *testing.T) {
+	users, routes := smallWorkload(t)
+	idx, err := NewIndex(users[:500], IndexOptions{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Scenario: Binary, Psi: DefaultPsi}
+	a, err := idx.ServiceValue(routes[0], q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.ServiceValue(routes[0], q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("restored shallow index answers %v, want %v", b, a)
+	}
+
+	// Synthesize the equivalent v1 stream: v1 magic, the same header
+	// minus the MaxDepth field (index 7), same payload, recomputed CRC.
+	v2 := buf.Bytes()
+	payload := v2[8+9*8 : len(v2)-4]
+	var v1 bytes.Buffer
+	v1.WriteString("TQSNAP01")
+	v1.Write(v2[8 : 8+7*8])     // variant..bounds
+	v1.Write(v2[8+8*8 : 8+9*8]) // count
+	v1.Write(payload)
+	sum := crc32.ChecksumIEEE(v1.Bytes())
+	if err := binary.Write(&v1, binary.LittleEndian, sum); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := ReadSnapshot(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy v1 stream rejected: %v", err)
+	}
+	if legacy.Len() != idx.Len() {
+		t.Fatalf("legacy restore has %d trajectories, want %d", legacy.Len(), idx.Len())
 	}
 }
 
@@ -118,5 +171,122 @@ func TestSnapshotPreservesInsertedTrajectories(t *testing.T) {
 	}
 	if math.Abs(a-b) > 1e-9 {
 		t.Fatalf("post-insert snapshot mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	users, routes := smallWorkload(t)
+	for _, opts := range []ShardOptions{
+		{Shards: 1},
+		{Shards: 4},
+		{Shards: 3, Partitioner: GridPartitioner(), Index: IndexOptions{Beta: 16, MaxDepth: 6}},
+	} {
+		idx, err := NewShardedIndex(users, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := idx.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadShardedSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		if back.Len() != idx.Len() || back.NumShards() != idx.NumShards() {
+			t.Fatalf("restored %d trajectories in %d shards, want %d in %d",
+				back.Len(), back.NumShards(), idx.Len(), idx.NumShards())
+		}
+		ws, rs := idx.ShardSizes(), back.ShardSizes()
+		for i := range ws {
+			if ws[i] != rs[i] {
+				t.Fatalf("shard %d restored with %d trajectories, want %d", i, rs[i], ws[i])
+			}
+		}
+		// Restored index must answer identically: Binary values are
+		// integral, so exact equality is required.
+		q := Query{Scenario: Binary, Psi: DefaultPsi}
+		wantTop, err := idx.TopK(routes, 8, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTop, err := back.TopK(routes, 8, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantTop {
+			if gotTop[i].Facility.ID != wantTop[i].Facility.ID ||
+				gotTop[i].Service != wantTop[i].Service {
+				t.Fatalf("rank %d: restored (%d, %v), want (%d, %v)", i,
+					gotTop[i].Facility.ID, gotTop[i].Service,
+					wantTop[i].Facility.ID, wantTop[i].Service)
+			}
+		}
+		// A restored built-in partitioner must keep accepting Inserts.
+		u, err := NewTrajectory(ID(900000), []Point{Pt(100, 100), Pt(200, 200)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := back.Insert(u); err != nil {
+			t.Fatalf("insert into restored index: %v", err)
+		}
+	}
+}
+
+func TestShardedSnapshotDetectsCorruption(t *testing.T) {
+	users, _ := smallWorkload(t)
+	idx, err := NewShardedIndex(users[:300], ShardOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := idx.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip a byte in the middle (some shard frame): the frame CRC must
+	// catch it.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := ReadShardedSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("corrupted frame: err = %v, want ErrBadSnapshot", err)
+	}
+
+	// Flip a header byte.
+	bad2 := append([]byte(nil), good...)
+	bad2[20] ^= 0xFF
+	if _, err := ReadShardedSnapshot(bytes.NewReader(bad2)); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("corrupted header: err = %v, want ErrBadSnapshot", err)
+	}
+
+	// Truncated stream.
+	if _, err := ReadShardedSnapshot(bytes.NewReader(good[:len(good)-9])); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("truncated stream: err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestSnapshotFormatsAreDistinguished(t *testing.T) {
+	users, _ := smallWorkload(t)
+	single, err := NewIndex(users[:100], IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedIndex(users[:100], ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sbuf, shbuf bytes.Buffer
+	if err := single.WriteSnapshot(&sbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.WriteSnapshot(&shbuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(shbuf.Bytes())); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("ReadSnapshot on sharded stream: err = %v, want ErrBadSnapshot", err)
+	}
+	if _, err := ReadShardedSnapshot(bytes.NewReader(sbuf.Bytes())); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("ReadShardedSnapshot on single stream: err = %v, want ErrBadSnapshot", err)
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"github.com/trajcover/trajcover/internal/maxcov"
 	"github.com/trajcover/trajcover/internal/query"
 	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/shard"
 	"github.com/trajcover/trajcover/internal/simplify"
 	"github.com/trajcover/trajcover/internal/tqtree"
 	"github.com/trajcover/trajcover/internal/trajectory"
@@ -238,6 +239,117 @@ func (x *Index) ServiceValues(facilities []*Facility, q Query, workers int) ([]f
 // cores buy wall-clock speed at the cost of some speculative work.
 func (x *Index) TopKParallel(facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
 	res, _, err := x.engine.TopKParallel(facilities, k, q.params(), workers)
+	return res, err
+}
+
+// Partitioner assigns trajectories to shards; see HashPartitioner and
+// GridPartitioner for the built-in strategies.
+type Partitioner = shard.Partitioner
+
+// HashPartitioner partitions by user-ID hash: balanced shards, uniform
+// per-shard query fan-out.
+func HashPartitioner() Partitioner { return shard.Hash{} }
+
+// GridPartitioner partitions by geographic cell of each trajectory's
+// source point: localized queries touch few shards and the scatter-gather
+// search prunes the rest, at the cost of load skew on concentrated data.
+func GridPartitioner() Partitioner { return shard.Grid{} }
+
+// ShardOptions configures NewShardedIndex. The zero value builds a
+// single hash shard with default index options — equivalent to NewIndex.
+type ShardOptions struct {
+	// Shards is the number of TQ-trees to partition across (0 means 1).
+	Shards int
+	// Partitioner assigns trajectories to shards (nil means
+	// HashPartitioner()).
+	Partitioner Partitioner
+	// Index configures every shard's tree. Index.Parallelism is the
+	// total build budget shared across shard builds.
+	Index IndexOptions
+}
+
+func (o ShardOptions) shardOptions() shard.Options {
+	return shard.Options{
+		Shards:      o.Shards,
+		Partitioner: o.Partitioner,
+		Tree: tqtree.Options{
+			Variant:     o.Index.Variant,
+			Ordering:    o.Index.Ordering,
+			Beta:        o.Index.Beta,
+			MaxDepth:    o.Index.MaxDepth,
+			Bounds:      o.Index.Bounds,
+			Parallelism: o.Index.Parallelism,
+		},
+	}
+}
+
+// ShardedIndex partitions user trajectories across several TQ-trees and
+// answers kMaxRRST queries by scatter-gather: a query fans out to every
+// shard and per-shard best-first searches merge through a global k-heap
+// whose shard-level upper bounds prune exploration that cannot change
+// the answer. Use it when one tree is too large to build, rebuild, or
+// hold comfortably — shards build in parallel and rebuild independently.
+//
+// Answers match the single-tree Index exactly for integral scenarios
+// (Binary; every scenario over integral service values) and up to
+// floating-point summation order otherwise.
+type ShardedIndex struct {
+	s *shard.Sharded
+}
+
+// NewShardedIndex partitions users with opts.Partitioner and builds one
+// TQ-tree per shard, in parallel within opts.Index.Parallelism.
+func NewShardedIndex(users []*Trajectory, opts ShardOptions) (*ShardedIndex, error) {
+	s, err := shard.Build(users, opts.shardOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{s: s}, nil
+}
+
+// NumShards returns the number of shards.
+func (x *ShardedIndex) NumShards() int { return x.s.NumShards() }
+
+// ShardSizes returns the number of trajectories in each shard.
+func (x *ShardedIndex) ShardSizes() []int { return x.s.Sizes() }
+
+// Len returns the total number of indexed user trajectories.
+func (x *ShardedIndex) Len() int { return x.s.Len() }
+
+// Insert routes a user trajectory to its shard and inserts it there.
+// Like Index.Insert it is not safe concurrently with queries, but only
+// the target shard is affected.
+func (x *ShardedIndex) Insert(u *Trajectory) error { return x.s.Insert(u) }
+
+// ServiceValue computes SO(U, f) as the sum of per-shard service values.
+func (x *ShardedIndex) ServiceValue(f *Facility, q Query) (float64, error) {
+	v, _, err := x.s.ServiceValue(f, q.params())
+	return v, err
+}
+
+// ServiceValues computes the exact service value of every facility,
+// scattering each shard's batch across `workers` goroutines (<= 0 uses
+// GOMAXPROCS). The result is indexed like facilities.
+func (x *ShardedIndex) ServiceValues(facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.s.ServiceValues(facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopK answers kMaxRRST over all shards by scatter-gather, best first.
+func (x *ShardedIndex) TopK(facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.s.TopK(facilities, k, q.params())
+	return res, err
+}
+
+// TopKWithMetrics is TopK returning the merged per-shard work metrics.
+func (x *ShardedIndex) TopKWithMetrics(facilities []*Facility, k int, q Query) ([]Ranked, QueryMetrics, error) {
+	return x.s.TopK(facilities, k, q.params())
+}
+
+// TopKParallel is TopK with up to `workers` facility relaxations run
+// concurrently per round; the answer is identical to TopK.
+func (x *ShardedIndex) TopKParallel(facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.s.TopKParallel(facilities, k, q.params(), workers)
 	return res, err
 }
 
