@@ -10,6 +10,7 @@ package trajcover
 // 11b) report their metric through b.ReportMetric next to the timing.
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"strconv"
@@ -451,6 +452,113 @@ func BenchmarkAblationBeta(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServiceValueFrozen — the frozen columnar read path against
+// the pointer tree it was frozen from: single-facility service values
+// over TQ(Z), single-threaded. Both layouts run the same search and
+// return bit-identical answers; the comparison isolates the flat SoA
+// layout's cache behavior.
+func BenchmarkServiceValueFrozen(b *testing.B) {
+	c := ctx()
+	users := c.Users("nyt", datagen.NYT1Day)
+	fs := c.Routes("ny", benchFacilities, benchStops)
+	p := benchParams(service.Binary)
+	tree, err := tqtree.Build(users.All, tqtree.Options{Variant: tqtree.TwoPoint, Ordering: tqtree.ZOrder})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := query.NewEngine(tree, users)
+	fz, err := tqtree.Freeze(tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feng := query.NewFrozenEngine(fz, users)
+	b.Run("layout=pointer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.ServiceValue(fs[i%len(fs)], p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("layout=frozen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := feng.ServiceValue(fs[i%len(fs)], p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTopKFrozen — frozen vs pointer best-first kMaxRRST, serial.
+func BenchmarkTopKFrozen(b *testing.B) {
+	c := ctx()
+	users := c.Users("nyt", datagen.NYT1Day)
+	fs := c.Routes("ny", benchFacilities, benchStops)
+	p := benchParams(service.Binary)
+	tree, err := tqtree.Build(users.All, tqtree.Options{Variant: tqtree.TwoPoint, Ordering: tqtree.ZOrder})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := query.NewEngine(tree, users)
+	fz, err := tqtree.Freeze(tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feng := query.NewFrozenEngine(fz, users)
+	b.Run("layout=pointer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.TopK(fs, benchK, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("layout=frozen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := feng.TopK(fs, benchK, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotRestore — restore cost of the two single-index
+// snapshot formats over the same corpus: TQSNAP02 re-builds the TQ-tree
+// from raw trajectories, TQSNAP03 bulk-reads the frozen columns.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	c := ctx()
+	users := c.Users("nyt", datagen.NYT1Day)
+	idx, err := NewIndex(users.All, IndexOptions{Ordering: ZOrdering})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fz, err := idx.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rebuildBuf, frozenBuf bytes.Buffer
+	if err := idx.WriteSnapshot(&rebuildBuf); err != nil {
+		b.Fatal(err)
+	}
+	if err := fz.WriteSnapshot(&frozenBuf); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("format=rebuild-TQSNAP02", func(b *testing.B) {
+		b.SetBytes(int64(rebuildBuf.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadSnapshot(bytes.NewReader(rebuildBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("format=frozen-TQSNAP03", func(b *testing.B) {
+		b.SetBytes(int64(frozenBuf.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadFrozenSnapshot(bytes.NewReader(frozenBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkInsert — dynamic maintenance: per-trajectory insert cost into

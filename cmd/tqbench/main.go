@@ -1,9 +1,11 @@
 // Command tqbench regenerates the tables and figures of the paper's
-// evaluation section on synthetic stand-in datasets.
+// evaluation section on synthetic stand-in datasets, and diffs the
+// machine-readable output of two runs for the CI perf-regression gate.
 //
 // Usage:
 //
 //	tqbench [-exp fig7a,fig7c] [-scale 0.05] [-psi 300] [-repeats 3] [-seed 1] [-json out.json]
+//	tqbench -diff [-threshold 0.25] old.json new.json
 //
 // -exp all (the default) runs every experiment in paper order. -scale is
 // the fraction of the paper-scale dataset cardinalities to generate;
@@ -14,28 +16,50 @@
 // -json additionally writes the measurements as machine-readable rows
 // (config + one row per experiment/method/x-tick), the format CI and
 // perf-trajectory tooling consume (BENCH_*.json).
+//
+// -diff joins two BENCH_*.json documents on (experiment, x, method),
+// prints the per-series deltas, and exits non-zero when any timing or
+// throughput series is worse than -threshold (relative; 0.25 = 25%).
+// Quality metrics and rows present in only one run are reported but
+// never gate. CI runs this against the previous workflow artifact so
+// perf regressions fail the build.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	trajcover "github.com/trajcover/trajcover"
 	"github.com/trajcover/trajcover/internal/bench"
+	"github.com/trajcover/trajcover/internal/datagen"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale    = flag.Float64("scale", 0.02, "fraction of paper-scale dataset sizes")
-		psi      = flag.Float64("psi", 300, "serving distance threshold ψ in meters")
-		repeats  = flag.Int("repeats", 3, "timing repetitions (minimum is reported)")
-		seed     = flag.Int64("seed", 1, "data generation seed")
-		jsonPath = flag.String("json", "", "also write results as JSON to this path")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale     = flag.Float64("scale", 0.02, "fraction of paper-scale dataset sizes")
+		psi       = flag.Float64("psi", 300, "serving distance threshold ψ in meters")
+		repeats   = flag.Int("repeats", 3, "timing repetitions (minimum is reported)")
+		seed      = flag.Int64("seed", 1, "data generation seed")
+		jsonPath  = flag.String("json", "", "also write results as JSON to this path")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		diff      = flag.Bool("diff", false, "diff two BENCH_*.json runs: tqbench -diff old.json new.json")
+		threshold = flag.Float64("threshold", 0.25, "relative regression threshold for -diff (0.25 = 25% worse fails)")
 	)
 	flag.Parse()
+
+	if *diff {
+		os.Exit(runDiff(flag.Args(), *threshold))
+	}
+
+	bench.RegisterExtra(bench.Experiment{
+		ID:    "restore",
+		Title: "extra — snapshot restore: frozen columnar read vs tree rebuild (NYT, not in the paper)",
+		Run:   expRestore,
+	})
 
 	if *list {
 		for _, e := range bench.Registry() {
@@ -77,4 +101,92 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "tqbench: wrote %s\n", *jsonPath)
 	}
+}
+
+// runDiff implements the -diff subcommand; the return value is the
+// process exit code.
+func runDiff(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "tqbench: -diff needs exactly two arguments: old.json new.json")
+		return 2
+	}
+	docs := make([]bench.RunDoc, 2)
+	for i, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqbench:", err)
+			return 2
+		}
+		docs[i], err = bench.ReadRunDoc(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tqbench: %s: %v\n", path, err)
+			return 2
+		}
+	}
+	rows, regressions := bench.DiffDocs(docs[0], docs[1], threshold)
+	bench.PrintDiff(os.Stdout, rows, threshold)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "tqbench: %d series regressed beyond %.0f%%\n", regressions, threshold*100)
+		return 1
+	}
+	fmt.Println("# no regressions")
+	return 0
+}
+
+// expRestore measures snapshot restore for the two single-index formats:
+// TQSNAP02 (store trajectories, rebuild the tree on read) against
+// TQSNAP03 (frozen columns, bulk read + bounds check + CRC). Both
+// streams describe the same index; the frozen restore's advantage is
+// precisely the rebuild it skips. It lives here rather than in
+// internal/bench because only the public package exposes the snapshot
+// formats.
+func expRestore(ctx *bench.Context) (*bench.Table, error) {
+	t := &bench.Table{
+		ID: "restore", Title: "snapshot restore: frozen columns vs tree rebuild (NYT)",
+		XLabel: "users", YLabel: "restores/sec",
+		Series: []bench.Series{{Method: "rebuild(TQSNAP02)"}, {Method: "frozen(TQSNAP03)"}},
+	}
+	for _, paperN := range []int{datagen.NYT1Day, datagen.NYT3Days} {
+		users := ctx.Users("nyt", paperN)
+		idx, err := trajcover.NewIndex(users.All, trajcover.IndexOptions{Ordering: trajcover.ZOrdering})
+		if err != nil {
+			return nil, err
+		}
+		fz, err := idx.Freeze()
+		if err != nil {
+			return nil, err
+		}
+		var rebuildBuf, frozenBuf bytes.Buffer
+		if err := idx.WriteSnapshot(&rebuildBuf); err != nil {
+			return nil, err
+		}
+		if err := fz.WriteSnapshot(&frozenBuf); err != nil {
+			return nil, err
+		}
+		var rerr error
+		rebuildSec := ctx.Time(func() {
+			if _, err := trajcover.ReadSnapshot(bytes.NewReader(rebuildBuf.Bytes())); err != nil {
+				rerr = err
+			}
+		})
+		frozenSec := ctx.Time(func() {
+			if _, err := trajcover.ReadFrozenSnapshot(bytes.NewReader(frozenBuf.Bytes())); err != nil {
+				rerr = err
+			}
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		rate := func(sec float64) float64 {
+			if sec <= 0 {
+				return 0
+			}
+			return 1 / sec
+		}
+		t.XTicks = append(t.XTicks, fmt.Sprint(users.Len()))
+		t.Series[0].Y = append(t.Series[0].Y, rate(rebuildSec))
+		t.Series[1].Y = append(t.Series[1].Y, rate(frozenSec))
+	}
+	return t, nil
 }

@@ -8,6 +8,7 @@
 //	tqquery -users trips.csv -routes routes.csv -query maxcov -k 4 -alg genetic
 //	tqquery -users checkins.csv -routes routes.csv -variant full -scenario pointcount -query topk
 //	tqquery -users trips.csv -routes routes.csv -query topk -shards 4 -partitioner grid
+//	tqquery -users trips.csv -routes routes.csv -query topk -frozen
 package main
 
 import (
@@ -43,6 +44,7 @@ func run(args []string, w io.Writer) error {
 		facility   = fs.Int("facility", -1, "facility id (query=service)")
 		shards     = fs.Int("shards", 1, "partition users across this many TQ-trees (scatter-gather serving)")
 		partition  = fs.String("partitioner", "hash", "shard partitioner: hash|grid")
+		frozen     = fs.Bool("frozen", false, "serve from the frozen columnar index (faster reads, immutable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,7 +122,26 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "sharded into %d TQ-trees (%s): sizes %v\n", sidx.NumShards(), *partition, sidx.ShardSizes())
-		idx = sidx
+		if *frozen {
+			fidx, err := sidx.Freeze()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "serving from frozen columnar shards")
+			idx = fidx
+		} else {
+			idx = sidx
+		}
+	} else if *frozen {
+		if *queryKind == "maxcov" {
+			return fmt.Errorf("query=maxcov is not supported with -frozen; the coverage solvers need the mutable index")
+		}
+		fidx, err := trajcover.NewFrozenIndex(users, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "serving from the frozen columnar index")
+		idx = fidx
 	} else {
 		s, err := trajcover.NewIndex(users, opts)
 		if err != nil {

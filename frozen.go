@@ -1,0 +1,145 @@
+package trajcover
+
+// The frozen read path. A built Index (or ShardedIndex) can be frozen
+// into an immutable columnar form — the whole TQ-tree laid out in a
+// handful of contiguous slices — that answers the same queries
+// bit-identically while walking flat arrays instead of chasing pointers:
+// measurably faster single-threaded hot loops, ~zero pointer words for
+// the GC, and snapshots that restore by bulk-reading the slices instead
+// of rebuilding the tree (TQSNAP03/TQSHRD02; see snapshot_frozen.go).
+//
+// Freeze when the index has stopped changing and is about to serve reads:
+// the mutable Index remains the build/Insert/Delete path, and a serving
+// process re-freezes (or freezes one rebuilt shard at a time) to pick up
+// changes.
+
+import (
+	"github.com/trajcover/trajcover/internal/query"
+	"github.com/trajcover/trajcover/internal/shard"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// FrozenIndex is the immutable columnar form of an Index. It answers
+// ServiceValue/ServiceValues/TopK/TopKParallel with answers bit-identical
+// to the Index it was frozen from, is safe for any number of concurrent
+// readers, and cannot be mutated — Insert/Delete and the coverage-based
+// queries (ServedUsers, MaxCoverage) stay on the mutable Index.
+type FrozenIndex struct {
+	engine *query.FrozenEngine
+	set    *trajectory.Set
+}
+
+// Freeze produces the frozen columnar form of the index. The index is
+// only read and remains fully usable; dropping it afterwards releases all
+// pointer-tree storage (the frozen form shares only the trajectory
+// objects).
+func (x *Index) Freeze() (*FrozenIndex, error) {
+	f, err := tqtree.Freeze(x.engine.Tree())
+	if err != nil {
+		return nil, err
+	}
+	return &FrozenIndex{engine: query.NewFrozenEngine(f, x.set), set: x.set}, nil
+}
+
+// NewFrozenIndex builds a frozen index directly from user trajectories:
+// the mutable tree is built, frozen, and discarded, so only the columnar
+// form is retained.
+func NewFrozenIndex(users []*Trajectory, opts IndexOptions) (*FrozenIndex, error) {
+	idx, err := NewIndex(users, opts)
+	if err != nil {
+		return nil, err
+	}
+	return idx.Freeze()
+}
+
+// Len returns the number of indexed user trajectories.
+func (x *FrozenIndex) Len() int { return x.set.Len() }
+
+// ServiceValue computes SO(U, f): the exact service value of one facility
+// (Algorithm 1 of the paper) over the flat layout.
+func (x *FrozenIndex) ServiceValue(f *Facility, q Query) (float64, error) {
+	v, _, err := x.engine.ServiceValue(f, q.params())
+	return v, err
+}
+
+// ServiceValues computes the exact service value of every facility in
+// one batch across a pool of `workers` goroutines (<= 0 uses GOMAXPROCS).
+func (x *FrozenIndex) ServiceValues(facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.engine.ServiceValues(facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopK answers the kMaxRRST query best first (Algorithm 3).
+func (x *FrozenIndex) TopK(facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.engine.TopK(facilities, k, q.params())
+	return res, err
+}
+
+// TopKWithMetrics is TopK returning work metrics for diagnostics.
+func (x *FrozenIndex) TopKWithMetrics(facilities []*Facility, k int, q Query) ([]Ranked, QueryMetrics, error) {
+	return x.engine.TopK(facilities, k, q.params())
+}
+
+// TopKParallel is TopK with up to `workers` best-first exploration steps
+// run concurrently per round; the answer is identical to TopK.
+func (x *FrozenIndex) TopKParallel(facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.engine.TopKParallel(facilities, k, q.params(), workers)
+	return res, err
+}
+
+// FrozenShardedIndex is the immutable columnar form of a ShardedIndex:
+// every shard's tree frozen, served by the same scatter-gather merge.
+type FrozenShardedIndex struct {
+	s *shard.Frozen
+}
+
+// Freeze produces the frozen serving form of the sharded index, freezing
+// each shard's tree. The source index is only read and remains usable.
+func (x *ShardedIndex) Freeze() (*FrozenShardedIndex, error) {
+	s, err := x.s.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return &FrozenShardedIndex{s: s}, nil
+}
+
+// NumShards returns the number of shards.
+func (x *FrozenShardedIndex) NumShards() int { return x.s.NumShards() }
+
+// ShardSizes returns the number of trajectories in each shard.
+func (x *FrozenShardedIndex) ShardSizes() []int { return x.s.Sizes() }
+
+// Len returns the total number of indexed user trajectories.
+func (x *FrozenShardedIndex) Len() int { return x.s.Len() }
+
+// ServiceValue computes SO(U, f) as the sum of per-shard service values.
+func (x *FrozenShardedIndex) ServiceValue(f *Facility, q Query) (float64, error) {
+	v, _, err := x.s.ServiceValue(f, q.params())
+	return v, err
+}
+
+// ServiceValues computes the exact service value of every facility,
+// scattering each shard's batch across `workers` goroutines.
+func (x *FrozenShardedIndex) ServiceValues(facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.s.ServiceValues(facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopK answers kMaxRRST over all frozen shards by scatter-gather.
+func (x *FrozenShardedIndex) TopK(facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.s.TopK(facilities, k, q.params())
+	return res, err
+}
+
+// TopKWithMetrics is TopK returning the merged per-shard work metrics.
+func (x *FrozenShardedIndex) TopKWithMetrics(facilities []*Facility, k int, q Query) ([]Ranked, QueryMetrics, error) {
+	return x.s.TopK(facilities, k, q.params())
+}
+
+// TopKParallel is TopK with up to `workers` facility relaxations run
+// concurrently per round; the answer is identical to TopK.
+func (x *FrozenShardedIndex) TopKParallel(facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.s.TopKParallel(facilities, k, q.params(), workers)
+	return res, err
+}

@@ -1,0 +1,51 @@
+package trajcover
+
+import "testing"
+
+// TestFrozenServiceValueAllocs asserts the frozen hot path stays within
+// the pooled pointer path's allocation budget: at most 1 alloc/op (the
+// PR 1 pooling target) and never more than the pointer path itself. Both
+// paths draw scratch from sync.Pools, so a couple of warm-up queries
+// populate them before measuring.
+func TestFrozenServiceValueAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not meaningful under -race: sync.Pool drops items deliberately")
+	}
+	ny := NewYorkCity()
+	users := TaxiTrips(ny, 3000, 7)
+	routes := BusRoutes(ny, 8, 32, 3)
+	idx, err := NewIndex(users, IndexOptions{Ordering: ZOrdering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := idx.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Scenario: Binary, Psi: DefaultPsi}
+	for _, r := range routes {
+		if _, err := idx.ServiceValue(r, q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fz.ServiceValue(r, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ptr := testing.AllocsPerRun(200, func() {
+		if _, err := idx.ServiceValue(routes[0], q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	frozen := testing.AllocsPerRun(200, func() {
+		if _, err := fz.ServiceValue(routes[0], q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("ServiceValue allocs/op: pointer %.2f, frozen %.2f", ptr, frozen)
+	if frozen > 1 {
+		t.Fatalf("frozen ServiceValue allocates %.2f/op, want <= 1", frozen)
+	}
+	if frozen > ptr+0.5 {
+		t.Fatalf("frozen ServiceValue allocates %.2f/op, pointer path %.2f/op", frozen, ptr)
+	}
+}

@@ -274,6 +274,16 @@ func (c *Context) Time(fn func()) float64 {
 	return best
 }
 
+// extra holds process-local experiments contributed via RegisterExtra.
+var extra []Experiment
+
+// RegisterExtra appends an experiment to the registry for this process.
+// cmd/tqbench uses it to contribute experiments that need the public
+// trajcover API (the snapshot-restore comparison): internal/bench cannot
+// import the root package itself, because the root package's in-package
+// tests import internal/bench and would close an import cycle.
+func RegisterExtra(e Experiment) { extra = append(extra, e) }
+
 // Run executes the experiments with the given IDs ("all" runs the full
 // registry), prints each table to w, and returns the tables so callers
 // can post-process them (e.g. the -json trajectory output of cmd/tqbench).

@@ -27,6 +27,7 @@ func TestRegistryCoversEveryFigure(t *testing.T) {
 		"thrpt",
 		"pbuild",
 		"shards",
+		"frozen",
 	}
 	reg := Registry()
 	have := map[string]bool{}

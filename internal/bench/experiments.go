@@ -30,9 +30,10 @@ var (
 	fig11FacAxis = []int{16, 32, 64}
 )
 
-// Registry returns every reproducible experiment, in paper order.
+// Registry returns every reproducible experiment, in paper order,
+// followed by any process-local extras (see RegisterExtra).
 func Registry() []Experiment {
-	return []Experiment{
+	reg := []Experiment{
 		{ID: "datasets", Title: "Tables I & II — dataset inventory (scaled)", Run: expDatasets},
 		{ID: "fig6a", Title: "Fig 6a — service value time vs #user trajectories (NYT)", Run: expFig6a},
 		{ID: "fig6b", Title: "Fig 6b — service value time vs #stops (NYT)", Run: expFig6b},
@@ -56,11 +57,81 @@ func Registry() []Experiment {
 		{ID: "thrpt", Title: "extra — batch kMaxRRST throughput vs worker count (NYT, not in the paper)", Run: expThroughput},
 		{ID: "pbuild", Title: "extra — TQ(Z) construction time vs build parallelism (NYT, not in the paper)", Run: expParallelBuild},
 		{ID: "shards", Title: "extra — sharded scatter-gather build time and throughput vs shard count (NYT, not in the paper)", Run: expShards},
+		{ID: "frozen", Title: "extra — frozen columnar vs pointer TQ(Z) read path (NYT, not in the paper)", Run: expFrozen},
 	}
+	return append(reg, extra...)
 }
 
 // shardAxis sweeps the number of TQ-tree shards.
 var shardAxis = []int{1, 2, 4, 8}
+
+// expFrozen measures the frozen columnar read path against the pointer
+// tree it was frozen from: single-threaded ServiceValues batch rate and
+// serial TopK rate over the default NYT configuration. Both run the same
+// search (byte-identical answers); the frozen series isolates what the
+// flat SoA layout buys the hot loops.
+func expFrozen(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID: "frozen", Title: "frozen columnar vs pointer TQ(Z) read path (NYT)",
+		XLabel: "operation", YLabel: "ops/sec single-threaded (freeze series: seconds)",
+		Series: []Series{{Method: "pointer"}, {Method: "frozen"}},
+	}
+	eng := ctx.Engine(dsNYT, datagen.NYT1Day, tqtree.TwoPoint, tqtree.ZOrder)
+	fz, err := tqtree.Freeze(eng.Tree())
+	if err != nil {
+		return nil, err
+	}
+	feng := query.NewFrozenEngine(fz, eng.Users())
+	fs := ctx.Routes("ny", defaultFacilities, defaultStops)
+	p := ctx.Params(service.Binary)
+
+	var qerr error
+	measure := func(fn func() error) float64 {
+		sec := ctx.Time(func() {
+			if err := fn(); err != nil {
+				qerr = err
+			}
+		})
+		return sec
+	}
+	rate := func(ops int, sec float64) float64 {
+		if sec <= 0 {
+			return 0
+		}
+		return float64(ops) / sec
+	}
+
+	svPtr := measure(func() error { _, _, err := eng.ServiceValues(fs, p, 1); return err })
+	svFz := measure(func() error { _, _, err := feng.ServiceValues(fs, p, 1); return err })
+	t.XTicks = append(t.XTicks, "ServiceValues")
+	appendRow(t, rate(len(fs), svPtr), rate(len(fs), svFz))
+
+	tkPtr := measure(func() error { _, _, err := eng.TopK(fs, defaultK, p); return err })
+	tkFz := measure(func() error { _, _, err := feng.TopK(fs, defaultK, p); return err })
+	t.XTicks = append(t.XTicks, "TopK")
+	appendRow(t, rate(1, tkPtr), rate(1, tkFz))
+	if qerr != nil {
+		return nil, qerr
+	}
+
+	// The freeze step itself, so the trajectory records what entering the
+	// frozen regime costs relative to a build (pointer series: Build).
+	buildSec := ctx.Time(func() {
+		if _, err := tqtree.Build(eng.Users().All, tqtree.Options{
+			Variant: tqtree.TwoPoint, Ordering: tqtree.ZOrder,
+		}); err != nil {
+			panic(err)
+		}
+	})
+	freezeSec := ctx.Time(func() {
+		if _, err := tqtree.Freeze(eng.Tree()); err != nil {
+			panic(err)
+		}
+	})
+	t.XTicks = append(t.XTicks, "build/freeze(s)")
+	appendRow(t, buildSec, freezeSec)
+	return t, nil
+}
 
 // expShards measures the sharded serving path: index build time,
 // ServiceValues batch throughput, and scatter-gather kMaxRRST (TopK)

@@ -1,25 +1,24 @@
 package query
 
 import (
-	"container/heap"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"github.com/trajcover/trajcover/internal/trajectory"
 )
 
-// This file implements the concurrent batch executor. A built TQ-tree is
-// immutable under queries — every traversal in this package only reads
-// nodes, lists, and cached bounds — so one tree is safely shared by any
-// number of worker goroutines without locking. (Tree.Insert is NOT safe
-// to run concurrently with queries; batch serving of a mutating tree
-// needs external coordination or snapshotting.)
+// This file exposes the concurrent batch executor over the pointer tree.
+// A built TQ-tree is immutable under queries — every traversal in this
+// package only reads nodes, lists, and cached bounds — so one tree is
+// safely shared by any number of worker goroutines without locking.
+// (Tree.Insert is NOT safe to run concurrently with queries; batch
+// serving of a mutating tree needs external coordination or
+// snapshotting.)
 //
 // Each worker owns its hot-path scratch (compArena, pooled StopSets) and
 // a private Metrics that is summed into the caller's after the join, so
 // the hot loops share no mutable state and the merged totals match the
-// serial run wherever the work split is deterministic.
+// serial run wherever the work split is deterministic. The actual batch
+// loops live in layout.go, shared with the frozen columnar engine.
 
 // resolveWorkers maps a workers argument to an effective pool size:
 // non-positive means GOMAXPROCS, and a batch never needs more workers
@@ -52,52 +51,7 @@ func (m *Metrics) Add(other Metrics) {
 // are as well, because each facility's traversal is independent.
 // workers <= 0 uses GOMAXPROCS.
 func (e *Engine) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
-	if err := p.validate(); err != nil {
-		return nil, Metrics{}, err
-	}
-	if err := e.tree.ValidateScenario(p.Scenario); err != nil {
-		return nil, Metrics{}, err
-	}
-	var m Metrics
-	if len(facilities) == 0 {
-		return nil, m, nil
-	}
-	mode := e.tree.FilterModeFor(p.Scenario)
-	out := make([]float64, len(facilities))
-	workers = resolveWorkers(workers, len(facilities))
-	stops := maxStops(facilities)
-	if workers == 1 {
-		arena := acquireCompArena(stops)
-		for i, f := range facilities {
-			out[i] = e.evaluateService(e.tree.Root(), f.Stops, p, mode, &m, arena)
-		}
-		putCompArena(arena)
-		return out, m, nil
-	}
-	var next atomic.Int64
-	perWorker := make([]Metrics, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			arena := acquireCompArena(stops)
-			wm := &perWorker[w]
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(facilities) {
-					break
-				}
-				out[i] = e.evaluateService(e.tree.Root(), facilities[i].Stops, p, mode, wm, arena)
-			}
-			putCompArena(arena)
-		}(w)
-	}
-	wg.Wait()
-	for _, wm := range perWorker {
-		m.Add(wm)
-	}
-	return out, m, nil
+	return serviceValuesG[*tqtreeNode](ptrLayout{e.tree}, facilities, p, workers)
 }
 
 // TopKExhaustiveParallel is TopKExhaustive with the per-facility scoring
@@ -106,10 +60,7 @@ func (e *Engine) ServiceValues(facilities []*trajectory.Facility, p Params, work
 // index and sorted with the same deterministic tie-break.
 func (e *Engine) TopKExhaustiveParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]Result, Metrics, error) {
 	if k <= 0 || len(facilities) == 0 {
-		if err := p.validate(); err != nil {
-			return nil, Metrics{}, err
-		}
-		if err := e.tree.ValidateScenario(p.Scenario); err != nil {
+		if err := validateQuery[*tqtreeNode](ptrLayout{e.tree}, p); err != nil {
 			return nil, Metrics{}, err
 		}
 		return nil, Metrics{}, nil
@@ -134,69 +85,7 @@ func (e *Engine) TopKParallel(facilities []*trajectory.Facility, k int, p Params
 	if workers <= 1 {
 		return e.TopK(facilities, k, p)
 	}
-	if err := p.validate(); err != nil {
-		return nil, Metrics{}, err
-	}
-	if err := e.tree.ValidateScenario(p.Scenario); err != nil {
-		return nil, Metrics{}, err
-	}
-	var m Metrics
-	if k <= 0 || len(facilities) == 0 {
-		return nil, m, nil
-	}
-	if k > len(facilities) {
-		k = len(facilities)
-	}
-	mode := e.tree.FilterModeFor(p.Scenario)
-	ancestors := e.tree.AncestorsCanServe(p.Scenario)
-
-	h := make(stateHeap, 0, len(facilities))
-	for _, f := range facilities {
-		h = append(h, e.initialState(f, p, ancestors))
-	}
-	heap.Init(&h)
-
-	results := make([]Result, 0, k)
-	batch := make([]*state, 0, workers)
-	perWorker := make([]Metrics, workers)
-	for h.Len() > 0 && len(results) < k {
-		s := heap.Pop(&h).(*state)
-		if len(s.pairs) == 0 || s.hserve == 0 {
-			results = append(results, Result{Facility: s.fac, Service: s.aserve})
-			continue
-		}
-		// Grab more non-final states to relax alongside the top one. A
-		// final state stops the grab: it must be re-examined at the top
-		// of the heap after the batch reorders, not emitted early.
-		batch = append(batch[:0], s)
-		for len(batch) < workers && h.Len() > 0 {
-			nxt := h[0]
-			if len(nxt.pairs) == 0 || nxt.hserve == 0 {
-				break
-			}
-			batch = append(batch, heap.Pop(&h).(*state))
-		}
-		if len(batch) == 1 {
-			e.relaxState(s, p, mode, &m)
-		} else {
-			var wg sync.WaitGroup
-			for i, bs := range batch {
-				wg.Add(1)
-				go func(i int, bs *state) {
-					defer wg.Done()
-					e.relaxState(bs, p, mode, &perWorker[i])
-				}(i, bs)
-			}
-			wg.Wait()
-		}
-		for _, bs := range batch {
-			heap.Push(&h, bs)
-		}
-	}
-	for _, wm := range perWorker {
-		m.Add(wm)
-	}
-	return results, m, nil
+	return topKParallelG[*tqtreeNode](ptrLayout{e.tree}, facilities, k, p, workers)
 }
 
 // Results converts a batch of service values into sorted top-k results —

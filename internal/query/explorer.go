@@ -1,15 +1,13 @@
 package query
 
 import (
-	"github.com/trajcover/trajcover/internal/tqtree"
 	"github.com/trajcover/trajcover/internal/trajectory"
 )
 
-// Explorer drives one facility's best-first exploration incrementally —
-// the unit of work TopK's heap schedules, exposed so higher layers (the
-// shard scatter-gather merge in internal/shard) can interleave
-// explorations of the same facility over several trees and stop any of
-// them early once its optimistic remainder cannot change the answer.
+// Exploration is the incremental best-first exploration of one facility
+// over one index — the unit of work the shard scatter-gather merge
+// schedules. Both layouts implement it: *Explorer over the pointer tree
+// and *FrozenExplorer over the frozen columnar index.
 //
 // Invariants, maintained by every Relax:
 //
@@ -21,62 +19,36 @@ import (
 //   - UpperBound() = Exact() + Optimistic() bounds the facility's true
 //     service value from above; when Done(), Exact() is the exact value.
 //
-// An Explorer is not safe for concurrent use; distinct Explorers over the
-// same (immutable) tree are.
-type Explorer struct {
-	e    *Engine
-	p    Params
-	mode tqtree.FilterMode
-	st   *state
+// An Exploration is not safe for concurrent use; distinct Explorations
+// over the same (immutable) index are.
+type Exploration interface {
+	Facility() *trajectory.Facility
+	Exact() float64
+	Optimistic() float64
+	UpperBound() float64
+	Done() bool
+	Relax(*Metrics)
+	Run(*Metrics) float64
 }
+
+// Explorer drives one facility's best-first exploration over the pointer
+// tree incrementally — the unit of work TopK's heap schedules, exposed so
+// higher layers (the shard scatter-gather merge in internal/shard) can
+// interleave explorations of the same facility over several trees and
+// stop any of them early once its optimistic remainder cannot change the
+// answer.
+type Explorer struct {
+	explorerCore[*tqtreeNode, ptrLayout]
+}
+
+var _ Exploration = (*Explorer)(nil)
 
 // NewExplorer seeds a facility's exploration at the smallest q-node
 // containing its EMBR, exactly as TopK's initialization does.
 func (e *Engine) NewExplorer(f *trajectory.Facility, p Params) (*Explorer, error) {
-	if err := p.validate(); err != nil {
+	core, err := newExplorerCore[*tqtreeNode](ptrLayout{e.tree}, f, p)
+	if err != nil {
 		return nil, err
 	}
-	if err := e.tree.ValidateScenario(p.Scenario); err != nil {
-		return nil, err
-	}
-	st := e.initialState(f, p, e.tree.AncestorsCanServe(p.Scenario))
-	return &Explorer{e: e, p: p, mode: e.tree.FilterModeFor(p.Scenario), st: st}, nil
-}
-
-// Facility returns the facility being explored.
-func (x *Explorer) Facility() *trajectory.Facility { return x.st.fac }
-
-// Exact returns the service value accumulated so far (the paper's
-// aserve). When Done, this is the facility's exact service value.
-func (x *Explorer) Exact() float64 { return x.st.aserve }
-
-// Optimistic returns the upper bound on service still obtainable from
-// the unexplored frontier (the paper's hserve).
-func (x *Explorer) Optimistic() float64 { return x.st.hserve }
-
-// UpperBound returns Exact + Optimistic: the best-first priority.
-func (x *Explorer) UpperBound() float64 { return x.st.fserve() }
-
-// Done reports whether the exploration is complete: no unexplored pair
-// can add service, so Exact is the facility's true service value. This is
-// the same safe early-termination condition the serial TopK uses.
-func (x *Explorer) Done() bool { return len(x.st.pairs) == 0 || x.st.hserve == 0 }
-
-// Relax performs one relaxation round (Algorithm 4): every frontier
-// pair's own list is evaluated exactly and replaced by its intersecting
-// children. No-op when Done. Work is accumulated into m.
-func (x *Explorer) Relax(m *Metrics) {
-	if x.Done() {
-		return
-	}
-	x.e.relaxState(x.st, x.p, x.mode, m)
-}
-
-// Run relaxes until Done and returns the exact service value — the
-// degenerate single-facility exploration, equal to Engine.ServiceValue.
-func (x *Explorer) Run(m *Metrics) float64 {
-	for !x.Done() {
-		x.Relax(m)
-	}
-	return x.st.aserve
+	return &Explorer{core}, nil
 }

@@ -1,0 +1,91 @@
+package query
+
+import (
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// FrozenEngine answers kMaxRRST queries over a frozen columnar TQ-tree.
+// It runs exactly the same search implementation as Engine (see
+// layout.go) instantiated over int32 node handles into the flat index, so
+// its answers — values, result order, and work metrics — are
+// bit-identical to the pointer engine's over the tree the index was
+// frozen from. A FrozenEngine is immutable and safe for any number of
+// concurrent readers.
+type FrozenEngine struct {
+	f     *tqtree.Frozen
+	users *trajectory.Set
+}
+
+// NewFrozenEngine wraps a frozen index. users must be the set the index
+// was built over.
+func NewFrozenEngine(f *tqtree.Frozen, users *trajectory.Set) *FrozenEngine {
+	return &FrozenEngine{f: f, users: users}
+}
+
+// Frozen returns the underlying flat index.
+func (e *FrozenEngine) Frozen() *tqtree.Frozen { return e.f }
+
+// Users returns the indexed user set.
+func (e *FrozenEngine) Users() *trajectory.Set { return e.users }
+
+// ServiceValue computes SO(U, f) exactly via the divide-and-conquer
+// traversal of Algorithm 1 over the flat layout.
+func (e *FrozenEngine) ServiceValue(f *trajectory.Facility, p Params) (float64, Metrics, error) {
+	l := frozenLayout{e.f}
+	if err := validateQuery[int32](l, p); err != nil {
+		return 0, Metrics{}, err
+	}
+	var m Metrics
+	mode := e.f.FilterModeFor(p.Scenario)
+	arena := acquireCompArena(len(f.Stops))
+	so := evaluateServiceG(l, int32(0), f.Stops, p, mode, &m, arena)
+	putCompArena(arena)
+	return so, m, nil
+}
+
+// ServiceValues computes SO(U, f) for every facility in one batch,
+// sharding the facilities across a pool of workers; see
+// Engine.ServiceValues.
+func (e *FrozenEngine) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
+	return serviceValuesG[int32](frozenLayout{e.f}, facilities, p, workers)
+}
+
+// TopK answers the kMaxRRST query best first; see Engine.TopK.
+func (e *FrozenEngine) TopK(facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
+	return topKG[int32](frozenLayout{e.f}, facilities, k, p)
+}
+
+// TopKExhaustive evaluates every facility and sorts; see
+// Engine.TopKExhaustive.
+func (e *FrozenEngine) TopKExhaustive(facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
+	return topKExhaustiveG[int32](frozenLayout{e.f}, facilities, k, p)
+}
+
+// TopKParallel is TopK with up to `workers` frontier states relaxed
+// concurrently per round; see Engine.TopKParallel.
+func (e *FrozenEngine) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]Result, Metrics, error) {
+	workers = resolveWorkers(workers, len(facilities))
+	if workers <= 1 {
+		return e.TopK(facilities, k, p)
+	}
+	return topKParallelG[int32](frozenLayout{e.f}, facilities, k, p, workers)
+}
+
+// FrozenExplorer drives one facility's best-first exploration over a
+// frozen index incrementally — the frozen counterpart of Explorer.
+type FrozenExplorer struct {
+	explorerCore[int32, frozenLayout]
+}
+
+var _ Exploration = (*FrozenExplorer)(nil)
+
+// NewExplorer seeds a facility's exploration at the smallest q-node
+// containing its EMBR, exactly as TopK's initialization does.
+func (e *FrozenEngine) NewExplorer(f *trajectory.Facility, p Params) (*FrozenExplorer, error) {
+	core, err := newExplorerCore[int32](frozenLayout{e.f}, f, p)
+	if err != nil {
+		return nil, err
+	}
+	return &FrozenExplorer{core}, nil
+}

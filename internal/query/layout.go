@@ -1,0 +1,541 @@
+package query
+
+// The layout-generic search core. The TQ-tree exists in two in-memory
+// representations — the mutable pointer tree (tqtree.Tree, node handle
+// *tqtree.Node) and the immutable frozen columnar layout (tqtree.Frozen,
+// node handle int32) — and every query algorithm in this package
+// (Algorithm 1's divide-and-conquer service evaluation, Algorithm 3/4's
+// best-first top-k search, the incremental Explorer) is written once here
+// over the tlayout abstraction and instantiated per layout. Both
+// instantiations traverse nodes, carve components, and accumulate floats
+// in exactly the same order, so their answers are bit-identical; the
+// layouts differ only in how a node's own list is scanned (ScoreList).
+//
+// The layout adapters are tiny value structs around the tree pointer, so
+// instantiation with a concrete adapter compiles to static calls — no
+// interface dispatch on the hot path.
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// tlayout is the node-cursor interface both tree layouts implement. N is
+// the node handle type; Nil() is the "no node" sentinel (nil pointer /
+// -1 index).
+type tlayout[N comparable] interface {
+	Root() N
+	Nil() N
+	IsLeaf(N) bool
+	// Child returns the node's i-th child slot (i in 0..3), Nil when the
+	// slot is empty or past the node's children. Both layouts yield the
+	// node's children in quadrant order under this iteration.
+	Child(N, int) N
+	Rect(N) geo.Rect
+	ListLen(N) int
+	OwnUB(N, service.Scenario) float64
+	TreeUB(N, service.Scenario) float64
+	ContainingPath(geo.Rect) []N
+	FilterModeFor(service.Scenario) tqtree.FilterMode
+	AncestorsCanServe(service.Scenario) bool
+	ValidateScenario(service.Scenario) error
+	// ScoreList runs zReduce over the node's own list against the EMBR
+	// and exactly scores the survivors with ss, returning the summed
+	// service and the survivor count. sco is caller-owned scratch the
+	// pointer layout threads through to its reusable entry visitor; the
+	// frozen layout ignores it.
+	ScoreList(n N, embr geo.Rect, mode tqtree.FilterMode, ss *service.StopSet, sc service.Scenario, sco *entryScorer) (float64, int)
+}
+
+// tqtreeNode aliases tqtree.Node so layout instantiation sites outside
+// this file stay short.
+type tqtreeNode = tqtree.Node
+
+// ptrLayout adapts the mutable pointer tree.
+type ptrLayout struct{ t *tqtree.Tree }
+
+func (l ptrLayout) Root() *tqtree.Node                       { return l.t.Root() }
+func (l ptrLayout) Nil() *tqtree.Node                        { return nil }
+func (l ptrLayout) IsLeaf(n *tqtree.Node) bool               { return n.IsLeaf() }
+func (l ptrLayout) Child(n *tqtree.Node, i int) *tqtree.Node { return n.Child(i) }
+func (l ptrLayout) Rect(n *tqtree.Node) geo.Rect             { return n.Rect() }
+func (l ptrLayout) ListLen(n *tqtree.Node) int               { return n.ListLen() }
+func (l ptrLayout) OwnUB(n *tqtree.Node, sc service.Scenario) float64 {
+	return n.OwnUB(sc)
+}
+func (l ptrLayout) TreeUB(n *tqtree.Node, sc service.Scenario) float64 {
+	return n.TreeUB(sc)
+}
+func (l ptrLayout) ContainingPath(r geo.Rect) []*tqtree.Node { return l.t.ContainingPath(r) }
+func (l ptrLayout) FilterModeFor(sc service.Scenario) tqtree.FilterMode {
+	return l.t.FilterModeFor(sc)
+}
+func (l ptrLayout) AncestorsCanServe(sc service.Scenario) bool { return l.t.AncestorsCanServe(sc) }
+func (l ptrLayout) ValidateScenario(sc service.Scenario) error { return l.t.ValidateScenario(sc) }
+func (l ptrLayout) ScoreList(n *tqtree.Node, embr geo.Rect, mode tqtree.FilterMode, ss *service.StopSet, sc service.Scenario, sco *entryScorer) (float64, int) {
+	sco.ss, sco.sc, sco.so, sco.n = ss, sc, 0, 0
+	l.t.NodeCandidatesV(n, embr, mode, sco)
+	return sco.so, sco.n
+}
+
+// frozenLayout adapts the immutable columnar layout.
+type frozenLayout struct{ f *tqtree.Frozen }
+
+func (l frozenLayout) Root() int32                                 { return 0 }
+func (l frozenLayout) Nil() int32                                  { return -1 }
+func (l frozenLayout) IsLeaf(n int32) bool                         { return l.f.IsLeaf(n) }
+func (l frozenLayout) Child(n int32, i int) int32                  { return l.f.Child(n, i) }
+func (l frozenLayout) Rect(n int32) geo.Rect                       { return l.f.Rect(n) }
+func (l frozenLayout) ListLen(n int32) int                         { return l.f.ListLen(n) }
+func (l frozenLayout) OwnUB(n int32, sc service.Scenario) float64  { return l.f.OwnUB(n, sc) }
+func (l frozenLayout) TreeUB(n int32, sc service.Scenario) float64 { return l.f.TreeUB(n, sc) }
+func (l frozenLayout) ContainingPath(r geo.Rect) []int32           { return l.f.ContainingPath(r) }
+func (l frozenLayout) FilterModeFor(sc service.Scenario) tqtree.FilterMode {
+	return l.f.FilterModeFor(sc)
+}
+func (l frozenLayout) AncestorsCanServe(sc service.Scenario) bool { return l.f.AncestorsCanServe(sc) }
+func (l frozenLayout) ValidateScenario(sc service.Scenario) error { return l.f.ValidateScenario(sc) }
+func (l frozenLayout) ScoreList(n int32, embr geo.Rect, mode tqtree.FilterMode, ss *service.StopSet, sc service.Scenario, _ *entryScorer) (float64, int) {
+	return l.f.ScoreNode(n, embr, mode, ss, sc)
+}
+
+// validateQuery checks the parameters and their compatibility with the
+// layout's index.
+func validateQuery[N comparable, L tlayout[N]](l L, p Params) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	return l.ValidateScenario(p.Scenario)
+}
+
+// evalNodeList is Algorithm 2: run zReduce over the node's own list
+// against the component's EMBR and score the survivors exactly.
+func evalNodeList[N comparable, L tlayout[N]](l L, n N, stops []geo.Point, p Params, mode tqtree.FilterMode, m *Metrics, sco *entryScorer) float64 {
+	ll := l.ListLen(n)
+	if len(stops) == 0 || ll == 0 {
+		return 0
+	}
+	m.NodesVisited++
+	embr := geo.RectOf(stops).Expand(p.Psi)
+	ss := service.AcquireStopSet(stops, p.Psi, ll/4)
+	so, scored := l.ScoreList(n, embr, mode, ss, p.Scenario, sco)
+	ss.Release()
+	m.EntriesScored += scored
+	return so
+}
+
+// evaluateServiceG is Algorithm 1: recursively divide the facility's stop
+// set along the quadtree and evaluate each visited node's own list on the
+// local component.
+func evaluateServiceG[N comparable, L tlayout[N]](l L, n N, stops []geo.Point, p Params, mode tqtree.FilterMode, m *Metrics, arena *compArena) float64 {
+	if n == l.Nil() || len(stops) == 0 {
+		return 0
+	}
+	so := evalNodeList(l, n, stops, p, mode, m, &arena.scorer)
+	if l.IsLeaf(n) {
+		return so
+	}
+	for q := 0; q < 4; q++ {
+		c := l.Child(n, q)
+		if c == l.Nil() {
+			continue
+		}
+		cstops, mark := arena.carve(stops, l.Rect(c), p.Psi)
+		if len(cstops) == 0 {
+			arena.release(mark)
+			continue
+		}
+		so += evaluateServiceG(l, c, cstops, p, mode, m, arena)
+		arena.release(mark)
+	}
+	return so
+}
+
+// qfPairG is one ⟨q-node, facility-component⟩ pair of a search state: the
+// node's own list is still unevaluated, and (unless listOnly) so is its
+// subtree.
+type qfPairG[N comparable] struct {
+	node N
+	// stops is the facility component local to this node (stops within
+	// ψ of the node's rectangle).
+	stops []geo.Point
+	// listOnly marks ancestor pairs: only the node's own list is
+	// pending; its children are covered by deeper pairs.
+	listOnly bool
+}
+
+// relaxSpanG records one child component as an index range into the
+// relaxation's stop buffer (the buffer may reallocate while growing, so
+// slices are taken only after it is complete).
+type relaxSpanG[N comparable] struct {
+	node   N
+	lo, hi int
+}
+
+// stateG is the paper's exploration state S for one facility: the
+// frontier pairs, the exact service accumulated so far (aserve), and the
+// optimistic remainder (hserve).
+type stateG[N comparable] struct {
+	fac    *trajectory.Facility
+	pairs  []qfPairG[N]
+	aserve float64
+	hserve float64
+	index  int // heap bookkeeping
+
+	// Relaxation scratch, reused across this state's relaxations. pairs
+	// and the component slices it references are backed by curPairs/
+	// curStops; a relaxation writes the next frontier into nextPairs/
+	// nextStops and swaps, so the buffers ping-pong and the state does
+	// O(1) allocations over its whole exploration once they have grown.
+	spans               []relaxSpanG[N]
+	curStops, nextStops []geo.Point
+	curPairs, nextPairs []qfPairG[N]
+	scorer              entryScorer
+}
+
+func (s *stateG[N]) fserve() float64 { return s.aserve + s.hserve }
+
+func (s *stateG[N]) done() bool { return len(s.pairs) == 0 || s.hserve == 0 }
+
+// stateHeapG is a max-heap on fserve with facility ID as a deterministic
+// tie-break.
+type stateHeapG[N comparable] []*stateG[N]
+
+func (h stateHeapG[N]) Len() int { return len(h) }
+func (h stateHeapG[N]) Less(i, j int) bool {
+	if h[i].fserve() != h[j].fserve() {
+		return h[i].fserve() > h[j].fserve()
+	}
+	return h[i].fac.ID < h[j].fac.ID
+}
+func (h stateHeapG[N]) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *stateHeapG[N]) Push(x any) {
+	s := x.(*stateG[N])
+	s.index = len(*h)
+	*h = append(*h, s)
+}
+func (h *stateHeapG[N]) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// initialStateG seeds a facility's exploration at the smallest q-node
+// containing its EMBR (the paper's containingQNode). When entries stored
+// at proper ancestors can still be served — multipoint variants — the
+// ancestors' own lists are enqueued as list-only pairs so the search
+// stays exact while hserve stays tight.
+func initialStateG[N comparable, L tlayout[N]](l L, f *trajectory.Facility, p Params, ancestors bool) *stateG[N] {
+	embr := f.EMBR(p.Psi)
+	path := l.ContainingPath(embr)
+	q := path[len(path)-1]
+	s := &stateG[N]{fac: f}
+	if ancestors {
+		for _, a := range path[:len(path)-1] {
+			if l.ListLen(a) == 0 {
+				continue
+			}
+			s.pairs = append(s.pairs, qfPairG[N]{node: a, stops: f.Stops, listOnly: true})
+			s.hserve += l.OwnUB(a, p.Scenario)
+		}
+	}
+	s.pairs = append(s.pairs, qfPairG[N]{node: q, stops: f.Stops})
+	s.hserve += l.TreeUB(q, p.Scenario)
+	return s
+}
+
+// relaxStateG is Algorithm 4: evaluate every frontier pair's own list
+// exactly (moving its value into aserve) and replace the pair with its
+// intersecting children, rebuilding hserve from the children's `sub`.
+//
+// All children components of one relaxation are carved from a single
+// backing buffer, recorded as index spans so the buffer may grow freely.
+// The buffers live on the state and double-buffer between relaxations
+// (the outgoing frontier still references the previous buffer while the
+// next one is written), so steady-state relaxations allocate nothing.
+func relaxStateG[N comparable, L tlayout[N]](l L, s *stateG[N], p Params, mode tqtree.FilterMode, m *Metrics) {
+	m.Relaxations++
+	spans := s.spans[:0]
+	buf := s.nextStops[:0]
+	var hserve float64
+	for _, pr := range s.pairs {
+		s.aserve += evalNodeList(l, pr.node, pr.stops, p, mode, m, &s.scorer)
+		if pr.listOnly || l.IsLeaf(pr.node) {
+			continue
+		}
+		for q := 0; q < 4; q++ {
+			c := l.Child(pr.node, q)
+			if c == l.Nil() {
+				continue
+			}
+			ext := l.Rect(c).Expand(p.Psi)
+			lo := len(buf)
+			for _, st := range pr.stops {
+				if ext.Contains(st) {
+					buf = append(buf, st)
+				}
+			}
+			if len(buf) == lo {
+				continue
+			}
+			spans = append(spans, relaxSpanG[N]{node: c, lo: lo, hi: len(buf)})
+			hserve += l.TreeUB(c, p.Scenario)
+		}
+	}
+	next := s.nextPairs[:0]
+	for _, sp := range spans {
+		next = append(next, qfPairG[N]{node: sp.node, stops: buf[sp.lo:sp.hi:sp.hi]})
+	}
+	s.spans = spans
+	s.nextStops, s.curStops = s.curStops, buf
+	s.nextPairs, s.curPairs = s.curPairs, next
+	s.pairs = next
+	s.hserve = hserve
+}
+
+// topKG answers the kMaxRRST query with the best-first strategy of
+// Algorithm 3 driven by the q-node `sub` upper bounds.
+func topKG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
+	if err := validateQuery[N](l, p); err != nil {
+		return nil, Metrics{}, err
+	}
+	var m Metrics
+	if k <= 0 || len(facilities) == 0 {
+		return nil, m, nil
+	}
+	if k > len(facilities) {
+		k = len(facilities)
+	}
+	mode := l.FilterModeFor(p.Scenario)
+	ancestors := l.AncestorsCanServe(p.Scenario)
+
+	h := make(stateHeapG[N], 0, len(facilities))
+	for _, f := range facilities {
+		h = append(h, initialStateG(l, f, p, ancestors))
+	}
+	heap.Init(&h)
+
+	results := make([]Result, 0, k)
+	for h.Len() > 0 && len(results) < k {
+		s := heap.Pop(&h).(*stateG[N])
+		// hserve == 0 means no unexplored pair can add service: aserve
+		// is exact. This covers both the fully-explored case (empty
+		// pairs) and the paper's safe early termination.
+		if s.done() {
+			results = append(results, Result{Facility: s.fac, Service: s.aserve})
+			continue
+		}
+		relaxStateG(l, s, p, mode, &m)
+		heap.Push(&h, s)
+	}
+	return results, m, nil
+}
+
+// topKParallelG is topKG with up to `workers` frontier states relaxed
+// concurrently per round. A facility is emitted only when it reaches the
+// top of the heap with no optimistic remainder — the same exactness
+// condition as the serial search — so the results are identical;
+// Metrics.Relaxations may exceed the serial count because batching can
+// relax states the serial search would have pruned.
+func topKParallelG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, k int, p Params, workers int) ([]Result, Metrics, error) {
+	if err := validateQuery[N](l, p); err != nil {
+		return nil, Metrics{}, err
+	}
+	var m Metrics
+	if k <= 0 || len(facilities) == 0 {
+		return nil, m, nil
+	}
+	if k > len(facilities) {
+		k = len(facilities)
+	}
+	mode := l.FilterModeFor(p.Scenario)
+	ancestors := l.AncestorsCanServe(p.Scenario)
+
+	h := make(stateHeapG[N], 0, len(facilities))
+	for _, f := range facilities {
+		h = append(h, initialStateG(l, f, p, ancestors))
+	}
+	heap.Init(&h)
+
+	results := make([]Result, 0, k)
+	batch := make([]*stateG[N], 0, workers)
+	perWorker := make([]Metrics, workers)
+	for h.Len() > 0 && len(results) < k {
+		s := heap.Pop(&h).(*stateG[N])
+		if s.done() {
+			results = append(results, Result{Facility: s.fac, Service: s.aserve})
+			continue
+		}
+		// Grab more non-final states to relax alongside the top one. A
+		// final state stops the grab: it must be re-examined at the top
+		// of the heap after the batch reorders, not emitted early.
+		batch = append(batch[:0], s)
+		for len(batch) < workers && h.Len() > 0 {
+			if h[0].done() {
+				break
+			}
+			batch = append(batch, heap.Pop(&h).(*stateG[N]))
+		}
+		if len(batch) == 1 {
+			relaxStateG(l, s, p, mode, &m)
+		} else {
+			var wg sync.WaitGroup
+			for i, bs := range batch {
+				wg.Add(1)
+				go func(i int, bs *stateG[N]) {
+					defer wg.Done()
+					relaxStateG(l, bs, p, mode, &perWorker[i])
+				}(i, bs)
+			}
+			wg.Wait()
+		}
+		for _, bs := range batch {
+			heap.Push(&h, bs)
+		}
+	}
+	for _, wm := range perWorker {
+		m.Add(wm)
+	}
+	return results, m, nil
+}
+
+// serviceValuesG computes SO(U, f) for every facility in one batch,
+// sharding the facilities across a pool of workers. The returned slice is
+// indexed like facilities; ordering and merged Metrics are deterministic
+// because each facility's traversal is independent.
+func serviceValuesG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
+	if err := validateQuery[N](l, p); err != nil {
+		return nil, Metrics{}, err
+	}
+	var m Metrics
+	if len(facilities) == 0 {
+		return nil, m, nil
+	}
+	mode := l.FilterModeFor(p.Scenario)
+	out := make([]float64, len(facilities))
+	workers = resolveWorkers(workers, len(facilities))
+	stops := maxStops(facilities)
+	if workers == 1 {
+		arena := acquireCompArena(stops)
+		for i, f := range facilities {
+			out[i] = evaluateServiceG(l, l.Root(), f.Stops, p, mode, &m, arena)
+		}
+		putCompArena(arena)
+		return out, m, nil
+	}
+	var next atomic.Int64
+	perWorker := make([]Metrics, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arena := acquireCompArena(stops)
+			wm := &perWorker[w]
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(facilities) {
+					break
+				}
+				out[i] = evaluateServiceG(l, l.Root(), facilities[i].Stops, p, mode, wm, arena)
+			}
+			putCompArena(arena)
+		}(w)
+	}
+	wg.Wait()
+	for _, wm := range perWorker {
+		m.Add(wm)
+	}
+	return out, m, nil
+}
+
+// topKExhaustiveG computes the same answer as topKG by evaluating every
+// facility's service value with Algorithm 1 and sorting — no best-first
+// pruning.
+func topKExhaustiveG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
+	if err := validateQuery[N](l, p); err != nil {
+		return nil, Metrics{}, err
+	}
+	var m Metrics
+	if k <= 0 || len(facilities) == 0 {
+		return nil, m, nil
+	}
+	if k > len(facilities) {
+		k = len(facilities)
+	}
+	mode := l.FilterModeFor(p.Scenario)
+	results := make([]Result, 0, len(facilities))
+	arena := acquireCompArena(maxStops(facilities))
+	for _, f := range facilities {
+		so := evaluateServiceG(l, l.Root(), f.Stops, p, mode, &m, arena)
+		results = append(results, Result{Facility: f, Service: so})
+	}
+	putCompArena(arena)
+	sortResults(results)
+	return results[:k], m, nil
+}
+
+// explorerCore drives one facility's best-first exploration incrementally
+// over either layout; Explorer and FrozenExplorer are its exported
+// instantiations.
+type explorerCore[N comparable, L tlayout[N]] struct {
+	l    L
+	p    Params
+	mode tqtree.FilterMode
+	st   *stateG[N]
+}
+
+func newExplorerCore[N comparable, L tlayout[N]](l L, f *trajectory.Facility, p Params) (explorerCore[N, L], error) {
+	if err := validateQuery[N](l, p); err != nil {
+		return explorerCore[N, L]{}, err
+	}
+	st := initialStateG(l, f, p, l.AncestorsCanServe(p.Scenario))
+	return explorerCore[N, L]{l: l, p: p, mode: l.FilterModeFor(p.Scenario), st: st}, nil
+}
+
+// Facility returns the facility being explored.
+func (x *explorerCore[N, L]) Facility() *trajectory.Facility { return x.st.fac }
+
+// Exact returns the service value accumulated so far (the paper's
+// aserve). When Done, this is the facility's exact service value.
+func (x *explorerCore[N, L]) Exact() float64 { return x.st.aserve }
+
+// Optimistic returns the upper bound on service still obtainable from
+// the unexplored frontier (the paper's hserve).
+func (x *explorerCore[N, L]) Optimistic() float64 { return x.st.hserve }
+
+// UpperBound returns Exact + Optimistic: the best-first priority.
+func (x *explorerCore[N, L]) UpperBound() float64 { return x.st.fserve() }
+
+// Done reports whether the exploration is complete: no unexplored pair
+// can add service, so Exact is the facility's true service value.
+func (x *explorerCore[N, L]) Done() bool { return x.st.done() }
+
+// Relax performs one relaxation round (Algorithm 4). No-op when Done.
+func (x *explorerCore[N, L]) Relax(m *Metrics) {
+	if x.Done() {
+		return
+	}
+	relaxStateG(x.l, x.st, x.p, x.mode, m)
+}
+
+// Run relaxes until Done and returns the exact service value.
+func (x *explorerCore[N, L]) Run(m *Metrics) float64 {
+	for !x.Done() {
+		x.Relax(m)
+	}
+	return x.st.aserve
+}

@@ -1,12 +1,17 @@
 // Package query implements kMaxRRST processing over the TQ-tree:
 //
 //   - Algorithm 1/2 of the paper: divide-and-conquer service-value
-//     computation (evaluateService + evaluateNodeTrajectories with the
-//     zReduce pruning supplied by the tqtree package).
+//     computation (evaluateServiceG + evalNodeList in layout.go, with
+//     the zReduce pruning supplied by the tqtree package).
 //   - Algorithm 3/4: best-first top-k facility search driven by the
-//     q-node `sub` upper bounds (TopKFacilities + relaxState).
+//     q-node `sub` upper bounds (topKG + relaxStateG in layout.go).
 //   - The paper's baseline (BL): per-facility circular range queries over
 //     a traditional point quadtree.
+//
+// The search core in layout.go is generic over the two tree layouts —
+// the mutable pointer tree (Engine/Explorer) and the frozen columnar
+// index (FrozenEngine/FrozenExplorer) — so both produce bit-identical
+// answers from one implementation.
 package query
 
 import (
@@ -76,16 +81,14 @@ func (e *Engine) Users() *trajectory.Set { return e.users }
 // ServiceValue computes SO(U, f) exactly via the divide-and-conquer
 // traversal of Algorithm 1. The returned Metrics describe the work done.
 func (e *Engine) ServiceValue(f *trajectory.Facility, p Params) (float64, Metrics, error) {
-	if err := p.validate(); err != nil {
-		return 0, Metrics{}, err
-	}
-	if err := e.tree.ValidateScenario(p.Scenario); err != nil {
+	l := ptrLayout{e.tree}
+	if err := validateQuery[*tqtreeNode](l, p); err != nil {
 		return 0, Metrics{}, err
 	}
 	var m Metrics
 	mode := e.tree.FilterModeFor(p.Scenario)
 	arena := acquireCompArena(len(f.Stops))
-	so := e.evaluateService(e.tree.Root(), f.Stops, p, mode, &m, arena)
+	so := evaluateServiceG(l, e.tree.Root(), f.Stops, p, mode, &m, arena)
 	putCompArena(arena)
 	return so, m, nil
 }
@@ -104,16 +107,17 @@ type compArena struct {
 
 // entryScorer is the EntryVisitor for exact service accumulation
 // (Algorithm 2's inner loop). Reused across node visits via the arena or
-// the exploration state.
+// the exploration state; the survivor count is accumulated locally and
+// folded into Metrics by evalNodeList.
 type entryScorer struct {
 	ss *service.StopSet
 	sc service.Scenario
-	m  *Metrics
 	so float64
+	n  int
 }
 
 func (v *entryScorer) VisitEntry(en *tqtree.Entry) {
-	v.m.EntriesScored++
+	v.n++
 	v.so += en.ServeSet(v.sc, v.ss)
 }
 
@@ -167,49 +171,6 @@ func (a *compArena) carve(stops []geo.Point, rect geo.Rect, psi float64) (comp [
 }
 
 func (a *compArena) release(mark int) { a.buf = a.buf[:mark] }
-
-// evaluateService is Algorithm 1: recursively divide the facility's stop
-// set along the quadtree and evaluate each visited node's own list on the
-// local component.
-func (e *Engine) evaluateService(n *tqtree.Node, stops []geo.Point, p Params, mode tqtree.FilterMode, m *Metrics, arena *compArena) float64 {
-	if n == nil || len(stops) == 0 {
-		return 0
-	}
-	so := e.evaluateNodeTrajectories(n, stops, p, mode, m, &arena.scorer)
-	if n.IsLeaf() {
-		return so
-	}
-	for q := 0; q < 4; q++ {
-		c := n.Child(q)
-		if c == nil {
-			continue
-		}
-		cstops, mark := arena.carve(stops, c.Rect(), p.Psi)
-		if len(cstops) == 0 {
-			arena.release(mark)
-			continue
-		}
-		so += e.evaluateService(c, cstops, p, mode, m, arena)
-		arena.release(mark)
-	}
-	return so
-}
-
-// evaluateNodeTrajectories is Algorithm 2: run zReduce over the node's
-// own list against the component's EMBR and score the survivors exactly.
-// sco is the caller's reusable visitor; its fields are overwritten here.
-func (e *Engine) evaluateNodeTrajectories(n *tqtree.Node, stops []geo.Point, p Params, mode tqtree.FilterMode, m *Metrics, sco *entryScorer) float64 {
-	if len(stops) == 0 || n.ListLen() == 0 {
-		return 0
-	}
-	m.NodesVisited++
-	embr := geo.RectOf(stops).Expand(p.Psi)
-	ss := service.AcquireStopSet(stops, p.Psi, n.ListLen()/4)
-	sco.ss, sco.sc, sco.m, sco.so = ss, p.Scenario, m, 0
-	e.tree.NodeCandidatesV(n, embr, mode, sco)
-	ss.Release()
-	return sco.so
-}
 
 // coverageMode returns the zReduce filter that is sound for coverage
 // collection: any entry with any covered point must survive, because

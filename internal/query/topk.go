@@ -1,11 +1,8 @@
 package query
 
 import (
-	"container/heap"
 	"sort"
 
-	"github.com/trajcover/trajcover/internal/geo"
-	"github.com/trajcover/trajcover/internal/tqtree"
 	"github.com/trajcover/trajcover/internal/trajectory"
 )
 
@@ -16,193 +13,11 @@ type Result struct {
 	Service float64
 }
 
-// qfPair is one ⟨q-node, facility-component⟩ pair of a search state: the
-// node's own list is still unevaluated, and (unless listOnly) so is its
-// subtree.
-type qfPair struct {
-	node *tqtree.Node
-	// stops is the facility component local to this node (stops within
-	// ψ of the node's rectangle).
-	stops []geo.Point
-	// listOnly marks ancestor pairs: only the node's own list is
-	// pending; its children are covered by deeper pairs.
-	listOnly bool
-}
-
-// state is the paper's exploration state S for one facility: the frontier
-// pairs, the exact service accumulated so far (aserve), and the optimistic
-// remainder (hserve).
-type state struct {
-	fac    *trajectory.Facility
-	pairs  []qfPair
-	aserve float64
-	hserve float64
-	index  int // heap bookkeeping
-
-	// Relaxation scratch, reused across this state's relaxations. pairs
-	// and the component slices it references are backed by curPairs/
-	// curStops; a relaxation writes the next frontier into nextPairs/
-	// nextStops and swaps, so the buffers ping-pong and the state does
-	// O(1) allocations over its whole exploration once they have grown.
-	spans               []relaxSpan
-	curStops, nextStops []geo.Point
-	curPairs, nextPairs []qfPair
-	scorer              entryScorer
-}
-
-// relaxSpan records one child component as an index range into the
-// relaxation's stop buffer (the buffer may reallocate while growing, so
-// slices are taken only after it is complete).
-type relaxSpan struct {
-	node   *tqtree.Node
-	lo, hi int
-}
-
-func (s *state) fserve() float64 { return s.aserve + s.hserve }
-
-// stateHeap is a max-heap on fserve with facility ID as a deterministic
-// tie-break.
-type stateHeap []*state
-
-func (h stateHeap) Len() int { return len(h) }
-func (h stateHeap) Less(i, j int) bool {
-	if h[i].fserve() != h[j].fserve() {
-		return h[i].fserve() > h[j].fserve()
-	}
-	return h[i].fac.ID < h[j].fac.ID
-}
-func (h stateHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *stateHeap) Push(x any) {
-	s := x.(*state)
-	s.index = len(*h)
-	*h = append(*h, s)
-}
-func (h *stateHeap) Pop() any {
-	old := *h
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return s
-}
-
 // TopK answers the kMaxRRST query: the k facilities with the highest
 // service value, in non-increasing order, computed with the best-first
 // strategy of Algorithm 3 driven by the q-node `sub` upper bounds.
 func (e *Engine) TopK(facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
-	if err := p.validate(); err != nil {
-		return nil, Metrics{}, err
-	}
-	if err := e.tree.ValidateScenario(p.Scenario); err != nil {
-		return nil, Metrics{}, err
-	}
-	var m Metrics
-	if k <= 0 || len(facilities) == 0 {
-		return nil, m, nil
-	}
-	if k > len(facilities) {
-		k = len(facilities)
-	}
-	mode := e.tree.FilterModeFor(p.Scenario)
-	ancestors := e.tree.AncestorsCanServe(p.Scenario)
-
-	h := make(stateHeap, 0, len(facilities))
-	for _, f := range facilities {
-		h = append(h, e.initialState(f, p, ancestors))
-	}
-	heap.Init(&h)
-
-	results := make([]Result, 0, k)
-	for h.Len() > 0 && len(results) < k {
-		s := heap.Pop(&h).(*state)
-		// hserve == 0 means no unexplored pair can add service: aserve
-		// is exact. This covers both the fully-explored case (empty
-		// pairs) and the paper's safe early termination.
-		if len(s.pairs) == 0 || s.hserve == 0 {
-			results = append(results, Result{Facility: s.fac, Service: s.aserve})
-			continue
-		}
-		e.relaxState(s, p, mode, &m)
-		heap.Push(&h, s)
-	}
-	return results, m, nil
-}
-
-// initialState seeds a facility's exploration at the smallest q-node
-// containing its EMBR (the paper's containingQNode). When entries stored
-// at proper ancestors can still be served — multipoint variants — the
-// ancestors' own lists are enqueued as list-only pairs so the search stays
-// exact while hserve stays tight.
-func (e *Engine) initialState(f *trajectory.Facility, p Params, ancestors bool) *state {
-	embr := f.EMBR(p.Psi)
-	path := e.tree.ContainingPath(embr)
-	q := path[len(path)-1]
-	s := &state{fac: f}
-	if ancestors {
-		for _, a := range path[:len(path)-1] {
-			if a.ListLen() == 0 {
-				continue
-			}
-			s.pairs = append(s.pairs, qfPair{node: a, stops: f.Stops, listOnly: true})
-			s.hserve += a.OwnUB(p.Scenario)
-		}
-	}
-	s.pairs = append(s.pairs, qfPair{node: q, stops: f.Stops})
-	s.hserve += q.TreeUB(p.Scenario)
-	return s
-}
-
-// relaxState is Algorithm 4: evaluate every frontier pair's own list
-// exactly (moving its value into aserve) and replace the pair with its
-// intersecting children, rebuilding hserve from the children's `sub`.
-//
-// All children components of one relaxation are carved from a single
-// backing buffer, recorded as index spans so the buffer may grow freely.
-// The buffers live on the state and double-buffer between relaxations
-// (the outgoing frontier still references the previous buffer while the
-// next one is written), so steady-state relaxations allocate nothing.
-func (e *Engine) relaxState(s *state, p Params, mode tqtree.FilterMode, m *Metrics) {
-	m.Relaxations++
-	spans := s.spans[:0]
-	buf := s.nextStops[:0]
-	var hserve float64
-	for _, pr := range s.pairs {
-		s.aserve += e.evaluateNodeTrajectories(pr.node, pr.stops, p, mode, m, &s.scorer)
-		if pr.listOnly || pr.node.IsLeaf() {
-			continue
-		}
-		for q := 0; q < 4; q++ {
-			c := pr.node.Child(q)
-			if c == nil {
-				continue
-			}
-			ext := c.Rect().Expand(p.Psi)
-			lo := len(buf)
-			for _, st := range pr.stops {
-				if ext.Contains(st) {
-					buf = append(buf, st)
-				}
-			}
-			if len(buf) == lo {
-				continue
-			}
-			spans = append(spans, relaxSpan{node: c, lo: lo, hi: len(buf)})
-			hserve += c.TreeUB(p.Scenario)
-		}
-	}
-	next := s.nextPairs[:0]
-	for _, sp := range spans {
-		next = append(next, qfPair{node: sp.node, stops: buf[sp.lo:sp.hi:sp.hi]})
-	}
-	s.spans = spans
-	s.nextStops, s.curStops = s.curStops, buf
-	s.nextPairs, s.curPairs = s.curPairs, next
-	s.pairs = next
-	s.hserve = hserve
+	return topKG[*tqtreeNode](ptrLayout{e.tree}, facilities, k, p)
 }
 
 // TopKExhaustive computes the same answer as TopK by evaluating every
@@ -211,29 +26,7 @@ func (e *Engine) relaxState(s *state, p Params, mode tqtree.FilterMode, m *Metri
 // the shape the TQ(B)/TQ(Z) comparison in the paper's Figure 7 uses when
 // upper-bound pruning is disabled.
 func (e *Engine) TopKExhaustive(facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
-	if err := p.validate(); err != nil {
-		return nil, Metrics{}, err
-	}
-	if err := e.tree.ValidateScenario(p.Scenario); err != nil {
-		return nil, Metrics{}, err
-	}
-	var m Metrics
-	if k <= 0 || len(facilities) == 0 {
-		return nil, m, nil
-	}
-	if k > len(facilities) {
-		k = len(facilities)
-	}
-	mode := e.tree.FilterModeFor(p.Scenario)
-	results := make([]Result, 0, len(facilities))
-	arena := acquireCompArena(maxStops(facilities))
-	for _, f := range facilities {
-		so := e.evaluateService(e.tree.Root(), f.Stops, p, mode, &m, arena)
-		results = append(results, Result{Facility: f, Service: so})
-	}
-	putCompArena(arena)
-	sortResults(results)
-	return results[:k], m, nil
+	return topKExhaustiveG[*tqtreeNode](ptrLayout{e.tree}, facilities, k, p)
 }
 
 func maxStops(facilities []*trajectory.Facility) int {

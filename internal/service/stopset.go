@@ -9,8 +9,13 @@ import (
 )
 
 // stopGridThreshold is the component size above which StopSet builds a
-// grid; below it a linear scan is faster than the indexing.
+// grid; at or below it a linear scan is faster than the indexing.
 const stopGridThreshold = 48
+
+// gridMinQueries is the expected-query count below which building the
+// grid cannot amortize: grid construction costs a few linear scans, so a
+// set answering fewer queries than this stays in linear mode.
+const gridMinQueries = 16
 
 // StopSet answers "is this point within ψ of any stop?" for a fixed stop
 // set. For small sets it scans linearly; for larger sets it buckets the
@@ -32,9 +37,25 @@ type StopSet struct {
 	invCell    float64
 }
 
-// NewStopSet prepares a membership structure over stops for threshold psi.
+// NewStopSet prepares a membership structure over stops for threshold
+// psi. With no query-count hint, the choice between linear scan and grid
+// is made purely by set size: sets larger than stopGridThreshold are
+// assumed to answer enough queries to amortize the grid, smaller sets
+// stay linear. (An earlier version passed an effectively-infinite query
+// count here, which silently forced the grid decision onto the size
+// check alone while suggesting otherwise; the heuristic is now explicit.)
 func NewStopSet(stops []geo.Point, psi float64) *StopSet {
-	return NewStopSetHint(stops, psi, 1<<30)
+	return NewStopSetHint(stops, psi, defaultExpectedQueries(len(stops)))
+}
+
+// defaultExpectedQueries is NewStopSet's heuristic: just enough expected
+// queries to enable the grid when the stop count clears the threshold,
+// zero otherwise.
+func defaultExpectedQueries(n int) int {
+	if n > stopGridThreshold {
+		return gridMinQueries
+	}
+	return 0
 }
 
 // NewStopSetHint is NewStopSet with an estimate of how many Served
@@ -74,7 +95,7 @@ func (s *StopSet) init(stops []geo.Point, psi float64, expectedQueries int) {
 	s.stops, s.psi, s.psi2 = stops, psi, psi*psi
 	s.keys = s.keys[:0]
 	s.order = s.order[:0]
-	if len(stops) < stopGridThreshold || psi <= 0 || expectedQueries < 16 {
+	if len(stops) <= stopGridThreshold || psi <= 0 || expectedQueries < gridMinQueries {
 		return
 	}
 	r := geo.RectOf(stops)

@@ -23,7 +23,7 @@ func TestStopSetServedMatchesLinear(t *testing.T) {
 		}
 		psi := 50 + rng.Float64()*400
 		ss := NewStopSet(stops, psi)
-		if n >= stopGridThreshold && ss.keys == nil {
+		if n > stopGridThreshold && len(ss.keys) == 0 {
 			t.Fatal("large stop set did not build a grid")
 		}
 		for probe := 0; probe < 500; probe++ {
@@ -46,6 +46,44 @@ func TestStopSetServedMatchesLinear(t *testing.T) {
 					trial, p, got, want, n, psi)
 			}
 		}
+	}
+}
+
+// TestNewStopSetGridHeuristic is the regression test for NewStopSet's
+// grid decision: with no query-count hint the grid is built exactly when
+// the stop count clears stopGridThreshold. The earlier 1<<30 default
+// pretended an unbounded query count, so the expectedQueries gate was
+// dead for every NewStopSet caller regardless of set size.
+func TestNewStopSetGridHeuristic(t *testing.T) {
+	mkStops := func(n int) []geo.Point {
+		stops := make([]geo.Point, n)
+		for i := range stops {
+			stops[i] = geo.Pt(float64(i)*100, float64(i%7)*100)
+		}
+		return stops
+	}
+	for _, tc := range []struct {
+		n    int
+		grid bool
+	}{
+		{1, false},
+		{stopGridThreshold / 2, false},
+		{stopGridThreshold, false},
+		{stopGridThreshold + 1, true},
+		{4 * stopGridThreshold, true},
+	} {
+		ss := NewStopSet(mkStops(tc.n), 50)
+		if got := len(ss.keys) > 0; got != tc.grid {
+			t.Errorf("NewStopSet with %d stops: grid=%v, want %v", tc.n, got, tc.grid)
+		}
+	}
+	// An explicit low query-count hint must keep even a large set linear.
+	if ss := NewStopSetHint(mkStops(4*stopGridThreshold), 50, gridMinQueries-1); len(ss.keys) > 0 {
+		t.Error("NewStopSetHint with a tiny query count built a grid")
+	}
+	// Zero psi never builds a grid (cells would be degenerate).
+	if ss := NewStopSet(mkStops(4*stopGridThreshold), 0); len(ss.keys) > 0 {
+		t.Error("NewStopSet with psi=0 built a grid")
 	}
 }
 

@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/query"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// Frozen is a set of frozen columnar TQ-trees jointly indexing one
+// trajectory corpus — the read-optimized serving form of Sharded. It
+// answers the same scatter-gather queries through the shared merge in
+// topk.go, is immutable (no Insert), and each shard serializes nearly
+// verbatim into the TQSHRD02 snapshot container.
+type Frozen struct {
+	bounds  geo.Rect
+	kind    string
+	engines []*query.FrozenEngine
+}
+
+// Freeze produces the frozen serving form of the sharded index: every
+// shard's pointer tree is frozen into its columnar layout. The source
+// index is only read and remains fully usable; dropping it afterwards
+// releases all pointer-tree storage.
+func (s *Sharded) Freeze() (*Frozen, error) {
+	f := &Frozen{
+		bounds:  s.bounds,
+		kind:    s.PartitionerKind(),
+		engines: make([]*query.FrozenEngine, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		fz, err := tqtree.Freeze(sh.engine.Tree())
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		f.engines[i] = query.NewFrozenEngine(fz, sh.set)
+	}
+	return f, nil
+}
+
+// FrozenFromEngines assembles a Frozen from per-shard frozen engines —
+// the snapshot restore path. kind records the partitioner the partition
+// was produced with ("" when unknown); bounds is the shared root space.
+func FrozenFromEngines(engines []*query.FrozenEngine, bounds geo.Rect, kind string) (*Frozen, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("shard: no frozen shards")
+	}
+	// IDs must be unique across the whole corpus, exactly as the mutable
+	// build checks — a cross-shard duplicate would be double-counted.
+	total := 0
+	for _, e := range engines {
+		total += e.Users().Len()
+	}
+	seen := make(map[trajectory.ID]struct{}, total)
+	for i, e := range engines {
+		for _, u := range e.Users().All {
+			if _, dup := seen[u.ID]; dup {
+				return nil, fmt.Errorf("shard: duplicate id %d across frozen shards (shard %d)", u.ID, i)
+			}
+			seen[u.ID] = struct{}{}
+		}
+	}
+	return &Frozen{bounds: bounds, kind: kind, engines: engines}, nil
+}
+
+// NumShards returns the shard count.
+func (f *Frozen) NumShards() int { return len(f.engines) }
+
+// Len returns the total number of indexed trajectories.
+func (f *Frozen) Len() int {
+	n := 0
+	for _, e := range f.engines {
+		n += e.Users().Len()
+	}
+	return n
+}
+
+// Sizes returns the number of trajectories in each shard.
+func (f *Frozen) Sizes() []int {
+	out := make([]int, len(f.engines))
+	for i, e := range f.engines {
+		out[i] = e.Users().Len()
+	}
+	return out
+}
+
+// Bounds returns the shared root space of every shard's index.
+func (f *Frozen) Bounds() geo.Rect { return f.bounds }
+
+// PartitionerKind returns the kind of the partitioner the shards were
+// produced with, or "" when unknown.
+func (f *Frozen) PartitionerKind() string { return f.kind }
+
+// Engine returns the frozen query engine of shard i.
+func (f *Frozen) Engine(i int) *query.FrozenEngine { return f.engines[i] }
+
+// Partition returns each shard's trajectories in the frozen trajectory-
+// table order — the payload the TQSHRD02 snapshot records.
+func (f *Frozen) Partition() [][]*trajectory.Trajectory {
+	out := make([][]*trajectory.Trajectory, len(f.engines))
+	for i, e := range f.engines {
+		out[i] = e.Frozen().Trajectories()
+	}
+	return out
+}
+
+// validate checks the query parameters against every shard's index.
+func (f *Frozen) validate(p query.Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, e := range f.engines {
+		if err := e.Frozen().ValidateScenario(p.Scenario); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServiceValue computes SO(U, f) as the sum of per-shard service values,
+// accumulated in shard order so the answer is deterministic.
+func (f *Frozen) ServiceValue(fac *trajectory.Facility, p Params) (float64, query.Metrics, error) {
+	var m query.Metrics
+	var so float64
+	for _, e := range f.engines {
+		v, sm, err := e.ServiceValue(fac, p)
+		if err != nil {
+			return 0, m, err
+		}
+		so += v
+		m.Add(sm)
+	}
+	return so, m, nil
+}
+
+// ServiceValues computes the exact service value of every facility by
+// scattering the batch to every shard and summing per-shard answers in
+// shard order; the output is indexed like facilities and deterministic.
+func (f *Frozen) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, query.Metrics, error) {
+	var m query.Metrics
+	out := make([]float64, len(facilities))
+	for _, e := range f.engines {
+		vs, sm, err := e.ServiceValues(facilities, p, workers)
+		if err != nil {
+			return nil, m, err
+		}
+		for i, v := range vs {
+			out[i] += v
+		}
+		m.Add(sm)
+	}
+	return out, m, nil
+}
+
+// numShards implements explorerSeeder.
+func (f *Frozen) numShards() int { return len(f.engines) }
+
+// newExploration implements explorerSeeder over the frozen indexes.
+func (f *Frozen) newExploration(i int, fac *trajectory.Facility, p Params) (query.Exploration, error) {
+	return f.engines[i].NewExplorer(fac, p)
+}
+
+// TopK answers kMaxRRST over all frozen shards by scatter-gather, best
+// first — the same merge as Sharded.TopK over the columnar layout.
+func (f *Frozen) TopK(facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
+	var m query.Metrics
+	if err := f.validate(p); err != nil {
+		return nil, m, err
+	}
+	h, k, err := seedHeap(f, facilities, k, p)
+	if err != nil || k == 0 {
+		return nil, m, err
+	}
+	return mergeTopK(h, k, &m), m, nil
+}
+
+// TopKParallel is TopK with up to `workers` facility relaxations run
+// concurrently per round; the answer is identical to TopK.
+func (f *Frozen) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(facilities) {
+		workers = len(facilities)
+	}
+	if workers <= 1 {
+		return f.TopK(facilities, k, p)
+	}
+	var m query.Metrics
+	if err := f.validate(p); err != nil {
+		return nil, m, err
+	}
+	h, k, err := seedHeap(f, facilities, k, p)
+	if err != nil || k == 0 {
+		return nil, m, err
+	}
+	return mergeTopKParallel(h, k, workers, &m), m, nil
+}

@@ -25,12 +25,16 @@ import (
 //   - A facility is emitted only when every shard's remainder is zero,
 //     so its reported value is exact, and the emission order (value
 //     descending, ID ascending on ties) matches the single-tree TopK.
+//
+// The merge is written over query.Exploration, so the same code serves
+// the mutable pointer shards (Sharded) and the frozen columnar shards
+// (Frozen) — only the seeding differs.
 
-// facState is one facility's scatter state: its per-shard explorers and
-// the cached bound sums the heap orders by.
+// facState is one facility's scatter state: its per-shard explorations
+// and the cached bound sums the heap orders by.
 type facState struct {
 	fac   *trajectory.Facility
-	exps  []*query.Explorer
+	exps  []query.Exploration
 	exact float64 // Σ per-shard Exact
 	opt   float64 // Σ per-shard Optimistic
 	index int     // heap bookkeeping
@@ -97,13 +101,18 @@ func (h *facHeap) Pop() any {
 	return f
 }
 
-// newFacState seeds one facility's exploration on every shard. Shards
-// with an empty tree contribute a zero upper bound and start Done, so
-// they cost nothing beyond the seed.
-func (s *Sharded) newFacState(f *trajectory.Facility, p Params) (*facState, error) {
-	fs := &facState{fac: f, exps: make([]*query.Explorer, 0, len(s.shards))}
-	for _, sh := range s.shards {
-		x, err := sh.engine.NewExplorer(f, p)
+// explorerSeeder seeds one facility's exploration on every shard of an
+// index. Shards with an empty tree contribute a zero upper bound and
+// start Done, so they cost nothing beyond the seed.
+type explorerSeeder interface {
+	numShards() int
+	newExploration(shard int, f *trajectory.Facility, p Params) (query.Exploration, error)
+}
+
+func newFacState(s explorerSeeder, f *trajectory.Facility, p Params) (*facState, error) {
+	fs := &facState{fac: f, exps: make([]query.Exploration, 0, s.numShards())}
+	for i := 0; i < s.numShards(); i++ {
+		x, err := s.newExploration(i, f, p)
 		if err != nil {
 			return nil, err
 		}
@@ -113,16 +122,31 @@ func (s *Sharded) newFacState(f *trajectory.Facility, p Params) (*facState, erro
 	return fs, nil
 }
 
-// TopK answers kMaxRRST over the sharded index: the k facilities with
-// the highest total service value, best first. Answers match the
-// single-tree TopK (exactly for integral scenarios such as Binary; up to
-// floating-point summation order otherwise).
-func (s *Sharded) TopK(facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
-	var m query.Metrics
-	h, k, err := s.seedHeap(facilities, k, p)
-	if err != nil || k == 0 {
-		return nil, m, err
+// seedHeap clamps k and seeds the global heap with one facState per
+// facility. The returned k is 0 when there is nothing to do. The caller
+// must have validated the query against every shard already.
+func seedHeap(s explorerSeeder, facilities []*trajectory.Facility, k int, p Params) (*facHeap, int, error) {
+	if k <= 0 || len(facilities) == 0 {
+		return nil, 0, nil
 	}
+	if k > len(facilities) {
+		k = len(facilities)
+	}
+	h := make(facHeap, 0, len(facilities))
+	for _, f := range facilities {
+		fs, err := newFacState(s, f, p)
+		if err != nil {
+			return nil, 0, err
+		}
+		h = append(h, fs)
+	}
+	heap.Init(&h)
+	return &h, k, nil
+}
+
+// mergeTopK drains the global heap best first, emitting a facility only
+// when every shard's optimistic remainder is zero.
+func mergeTopK(h *facHeap, k int, m *query.Metrics) []query.Result {
 	results := make([]query.Result, 0, k)
 	for h.Len() > 0 && len(results) < k {
 		fs := heap.Pop(h).(*facState)
@@ -130,33 +154,19 @@ func (s *Sharded) TopK(facilities []*trajectory.Facility, k int, p Params) ([]qu
 			results = append(results, query.Result{Facility: fs.fac, Service: fs.exact})
 			continue
 		}
-		fs.relax(&m)
+		fs.relax(m)
 		heap.Push(h, fs)
 	}
-	return results, m, nil
+	return results
 }
 
-// TopKParallel is TopK with up to `workers` facility relaxations run
-// concurrently per round (each relaxation touches only that facility's
-// per-shard explorers, and trees are immutable under queries, so the
-// batch shares no mutable state). Results are identical to TopK; the
-// speculative extra relaxations buy wall-clock time, exactly as in the
-// single-tree executor. workers <= 1 falls back to the serial TopK.
-func (s *Sharded) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(facilities) {
-		workers = len(facilities)
-	}
-	if workers <= 1 {
-		return s.TopK(facilities, k, p)
-	}
-	var m query.Metrics
-	h, k, err := s.seedHeap(facilities, k, p)
-	if err != nil || k == 0 {
-		return nil, m, err
-	}
+// mergeTopKParallel is mergeTopK with up to `workers` facility
+// relaxations run concurrently per round (each relaxation touches only
+// that facility's per-shard explorations, and the indexes are immutable
+// under queries, so the batch shares no mutable state). Results are
+// identical to mergeTopK; the speculative extra relaxations buy
+// wall-clock time, exactly as in the single-tree executor.
+func mergeTopKParallel(h *facHeap, k, workers int, m *query.Metrics) []query.Result {
 	results := make([]query.Result, 0, k)
 	batch := make([]*facState, 0, workers)
 	perWorker := make([]query.Metrics, workers)
@@ -177,7 +187,7 @@ func (s *Sharded) TopKParallel(facilities []*trajectory.Facility, k int, p Param
 			batch = append(batch, heap.Pop(h).(*facState))
 		}
 		if len(batch) == 1 {
-			fs.relax(&m)
+			fs.relax(m)
 		} else {
 			var wg sync.WaitGroup
 			for i, bs := range batch {
@@ -196,30 +206,53 @@ func (s *Sharded) TopKParallel(facilities []*trajectory.Facility, k int, p Param
 	for _, wm := range perWorker {
 		m.Add(wm)
 	}
-	return results, m, nil
+	return results
 }
 
-// seedHeap validates the query, clamps k, and seeds the global heap with
-// one facState per facility. The returned k is 0 when there is nothing
-// to do.
-func (s *Sharded) seedHeap(facilities []*trajectory.Facility, k int, p Params) (*facHeap, int, error) {
+// numShards implements explorerSeeder.
+func (s *Sharded) numShards() int { return len(s.shards) }
+
+// newExploration implements explorerSeeder over the pointer trees.
+func (s *Sharded) newExploration(i int, f *trajectory.Facility, p Params) (query.Exploration, error) {
+	return s.shards[i].engine.NewExplorer(f, p)
+}
+
+// TopK answers kMaxRRST over the sharded index: the k facilities with
+// the highest total service value, best first. Answers match the
+// single-tree TopK (exactly for integral scenarios such as Binary; up to
+// floating-point summation order otherwise).
+func (s *Sharded) TopK(facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
+	var m query.Metrics
 	if err := s.validate(p); err != nil {
-		return nil, 0, err
+		return nil, m, err
 	}
-	if k <= 0 || len(facilities) == 0 {
-		return nil, 0, nil
+	h, k, err := seedHeap(s, facilities, k, p)
+	if err != nil || k == 0 {
+		return nil, m, err
 	}
-	if k > len(facilities) {
-		k = len(facilities)
+	return mergeTopK(h, k, &m), m, nil
+}
+
+// TopKParallel is TopK with up to `workers` facility relaxations run
+// concurrently per round; the answer is identical to TopK. workers <= 1
+// falls back to the serial TopK.
+func (s *Sharded) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	h := make(facHeap, 0, len(facilities))
-	for _, f := range facilities {
-		fs, err := s.newFacState(f, p)
-		if err != nil {
-			return nil, 0, err
-		}
-		h = append(h, fs)
+	if workers > len(facilities) {
+		workers = len(facilities)
 	}
-	heap.Init(&h)
-	return &h, k, nil
+	if workers <= 1 {
+		return s.TopK(facilities, k, p)
+	}
+	var m query.Metrics
+	if err := s.validate(p); err != nil {
+		return nil, m, err
+	}
+	h, k, err := seedHeap(s, facilities, k, p)
+	if err != nil || k == 0 {
+		return nil, m, err
+	}
+	return mergeTopKParallel(h, k, workers, &m), m, nil
 }

@@ -1,0 +1,450 @@
+package tqtree
+
+// The frozen columnar TQ-tree: an immutable mirror of a built *Tree laid
+// out in a handful of contiguous slices. The pointer tree stays the
+// mutable build/Insert path; Freeze produces a read-optimized copy whose
+// hot loops — best-first node expansion and zReduce bucket scans — walk
+// flat arrays instead of chasing *Node / *Entry / *Trajectory pointers:
+//
+//   - q-nodes become parallel columns indexed by int32 (BFS order, each
+//     node's children contiguous at childBase..childBase+childCount);
+//   - per-node entry lists become ranges into one SoA entry slab
+//     (first/last/mbr/startCode/endCode/ub columns);
+//   - z-node buckets become ranges into bucket aggregate columns;
+//   - Entry.Traj shrinks to an int32 index into one trajectory table,
+//     touched only when a surviving candidate needs interior points.
+//
+// Beyond cache locality, the layout has ~zero pointer words for the GC
+// to scan and serializes nearly verbatim (see the TQSNAP03/TQSHRD02
+// snapshot formats), so restoring a frozen index is a bulk read plus
+// bounds checks instead of a rebuild.
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/trajectory"
+	"github.com/trajcover/trajcover/internal/zorder"
+)
+
+// Frozen is the immutable flat representation of a TQ-tree. It answers
+// the same node/list questions as *Tree (upper bounds, zReduce candidate
+// scans) with int32 node handles; internal/query runs the shared search
+// implementation over either layout. A Frozen is safe for any number of
+// concurrent readers and cannot be mutated.
+type Frozen struct {
+	variant       Variant
+	ordering      Ordering
+	beta          int
+	maxDepth      int
+	bounds        geo.Rect
+	hasMultipoint bool
+
+	// Node columns, in BFS order; the children of node n occupy
+	// childBase[n] .. childBase[n]+childCount[n]-1 (quadrant order).
+	// childBase is maintained for every node — it equals the running
+	// child cursor even for leaves — so the BFS invariant is checkable
+	// on restore. entryOff (and bucketOff, Z-order only) are cumulative:
+	// node n's entries are the slab range [entryOff[n], entryOff[n+1]).
+	nodeRect   []geo.Rect
+	childBase  []int32
+	childCount []int32
+	entryOff   []int32
+	bucketOff  []int32
+	ownUB      []float64 // numNodes × NumScenarios, scenario-major per node
+	treeUB     []float64 // numNodes × NumScenarios
+
+	// Bucket aggregate columns (Z-order only): bucket b covers entries
+	// [bktEntryOff[b], bktEntryOff[b+1]).
+	bktEntryOff []int32
+	bktMinStart []uint64
+	bktMaxStart []uint64
+	bktStartMBR []geo.Rect
+	bktEndMBR   []geo.Rect
+	bktFullMBR  []geo.Rect
+
+	// Entry slab, SoA. entSeg is -1 for whole-trajectory entries. The
+	// per-entry Morton codes and upper bounds of the pointer tree are
+	// deliberately NOT carried over: zReduce prunes buckets with the
+	// aggregate columns and filters entries by geometry, and the
+	// immutable index never re-derives node bounds — dropping them
+	// saves 40 bytes per entry in RAM and in every snapshot.
+	entFirst []geo.Point
+	entLast  []geo.Point
+	entMBR   []geo.Rect
+	entTraj  []int32
+	entSeg   []int32
+
+	// trajs is the trajectory table entTraj indexes into, ordered by
+	// first appearance in the entry slab.
+	trajs []*trajectory.Trajectory
+}
+
+// Freeze builds the flat representation of a built tree. The tree is only
+// read; the result shares the trajectory objects but none of the node or
+// list storage, so dropping the tree afterwards releases it entirely.
+func Freeze(t *Tree) (*Frozen, error) {
+	// BFS so each node's children land contiguously in quadrant order.
+	nodes := make([]*Node, 0, 64)
+	nodes = append(nodes, t.root)
+	for i := 0; i < len(nodes); i++ {
+		n := nodes[i]
+		for q := 0; q < 4; q++ {
+			if c := n.children[q]; c != nil {
+				nodes = append(nodes, c)
+			}
+		}
+	}
+	if len(nodes) > math.MaxInt32 || t.numEntries > math.MaxInt32 {
+		return nil, fmt.Errorf("tqtree: tree too large to freeze (%d nodes, %d entries)", len(nodes), t.numEntries)
+	}
+	nn := len(nodes)
+	f := &Frozen{
+		variant:       t.opts.Variant,
+		ordering:      t.opts.Ordering,
+		beta:          t.opts.Beta,
+		maxDepth:      t.opts.MaxDepth,
+		bounds:        t.bounds,
+		hasMultipoint: t.hasMultipoint,
+		nodeRect:      make([]geo.Rect, nn),
+		childBase:     make([]int32, nn),
+		childCount:    make([]int32, nn),
+		entryOff:      make([]int32, nn+1),
+		ownUB:         make([]float64, nn*service.NumScenarios),
+		treeUB:        make([]float64, nn*service.NumScenarios),
+		entFirst:      make([]geo.Point, 0, t.numEntries),
+		entLast:       make([]geo.Point, 0, t.numEntries),
+		entMBR:        make([]geo.Rect, 0, t.numEntries),
+		entTraj:       make([]int32, 0, t.numEntries),
+		entSeg:        make([]int32, 0, t.numEntries),
+		trajs:         make([]*trajectory.Trajectory, 0, t.numTrajs),
+	}
+	if t.opts.Ordering == ZOrder {
+		f.bucketOff = make([]int32, nn+1)
+	}
+	trajIdx := make(map[*trajectory.Trajectory]int32, t.numTrajs)
+	cursor := int32(1)
+	for i, n := range nodes {
+		f.nodeRect[i] = n.rect
+		cnt := int32(0)
+		for q := 0; q < 4; q++ {
+			if n.children[q] != nil {
+				cnt++
+			}
+		}
+		f.childBase[i] = cursor
+		f.childCount[i] = cnt
+		cursor += cnt
+		for sc := 0; sc < service.NumScenarios; sc++ {
+			f.ownUB[i*service.NumScenarios+sc] = n.ownUB[sc]
+			f.treeUB[i*service.NumScenarios+sc] = n.treeUB[sc]
+		}
+		switch l := n.list.(type) {
+		case *basicList:
+			for j := range l.entries {
+				f.appendEntry(&l.entries[j], trajIdx)
+			}
+		case *zList:
+			for _, b := range l.buckets {
+				f.bktEntryOff = append(f.bktEntryOff, int32(len(f.entFirst)))
+				f.bktMinStart = append(f.bktMinStart, b.minStart)
+				f.bktMaxStart = append(f.bktMaxStart, b.maxStart)
+				f.bktStartMBR = append(f.bktStartMBR, b.startMBR)
+				f.bktEndMBR = append(f.bktEndMBR, b.endMBR)
+				f.bktFullMBR = append(f.bktFullMBR, b.fullMBR)
+				for j := range b.entries {
+					f.appendEntry(&b.entries[j], trajIdx)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("tqtree: unknown list type %T", n.list)
+		}
+		f.entryOff[i+1] = int32(len(f.entFirst))
+		if f.bucketOff != nil {
+			f.bucketOff[i+1] = int32(len(f.bktMinStart))
+		}
+	}
+	if f.bucketOff != nil {
+		// Close the cumulative bucket → entry mapping.
+		f.bktEntryOff = append(f.bktEntryOff, int32(len(f.entFirst)))
+	}
+	return f, nil
+}
+
+func (f *Frozen) appendEntry(e *Entry, trajIdx map[*trajectory.Trajectory]int32) {
+	ti, ok := trajIdx[e.Traj]
+	if !ok {
+		ti = int32(len(f.trajs))
+		trajIdx[e.Traj] = ti
+		f.trajs = append(f.trajs, e.Traj)
+	}
+	f.entFirst = append(f.entFirst, e.first)
+	f.entLast = append(f.entLast, e.last)
+	f.entMBR = append(f.entMBR, e.mbr)
+	f.entTraj = append(f.entTraj, ti)
+	f.entSeg = append(f.entSeg, int32(e.SegIdx))
+}
+
+// Bounds returns the root space the index was built over.
+func (f *Frozen) Bounds() geo.Rect { return f.bounds }
+
+// Variant returns the decomposition variant.
+func (f *Frozen) Variant() Variant { return f.variant }
+
+// Ordering returns the per-node list ordering.
+func (f *Frozen) Ordering() Ordering { return f.ordering }
+
+// Beta returns the block size β.
+func (f *Frozen) Beta() int { return f.beta }
+
+// MaxDepth returns the depth bound the source tree was built with.
+func (f *Frozen) MaxDepth() int { return f.maxDepth }
+
+// NumNodes returns the number of q-nodes.
+func (f *Frozen) NumNodes() int { return len(f.nodeRect) }
+
+// NumEntries returns the number of stored entries.
+func (f *Frozen) NumEntries() int { return len(f.entFirst) }
+
+// NumTrajectories returns the number of indexed user trajectories.
+func (f *Frozen) NumTrajectories() int { return len(f.trajs) }
+
+// HasMultipoint reports whether any indexed trajectory has more than two
+// points.
+func (f *Frozen) HasMultipoint() bool { return f.hasMultipoint }
+
+// Trajectories returns the trajectory table in entTraj index order — the
+// order the snapshot formats record.
+func (f *Frozen) Trajectories() []*trajectory.Trajectory { return f.trajs }
+
+// ValidateScenario checks that queries under sc are exact on this index.
+func (f *Frozen) ValidateScenario(sc service.Scenario) error {
+	return validateScenario(f.variant, f.hasMultipoint, sc)
+}
+
+// FilterModeFor returns the zReduce candidate predicate that is sound for
+// this index's variant under the given scenario.
+func (f *Frozen) FilterModeFor(sc service.Scenario) FilterMode {
+	return filterModeFor(f.variant, sc)
+}
+
+// AncestorsCanServe mirrors Tree.AncestorsCanServe.
+func (f *Frozen) AncestorsCanServe(sc service.Scenario) bool {
+	return ancestorsCanServe(f.variant, sc)
+}
+
+// Rect returns node n's cell rectangle.
+func (f *Frozen) Rect(n int32) geo.Rect { return f.nodeRect[n] }
+
+// IsLeaf reports whether node n has no children.
+func (f *Frozen) IsLeaf(n int32) bool { return f.childCount[n] == 0 }
+
+// Child returns the i-th child of node n, or -1 when i is past the node's
+// child count. Children are stored in quadrant order, so iterating i in
+// 0..3 visits them exactly as the pointer tree's quadrant loop does.
+func (f *Frozen) Child(n int32, i int) int32 {
+	if i >= int(f.childCount[n]) {
+		return -1
+	}
+	return f.childBase[n] + int32(i)
+}
+
+// ListLen returns the number of entries stored at node n itself.
+func (f *Frozen) ListLen(n int32) int {
+	return int(f.entryOff[n+1] - f.entryOff[n])
+}
+
+// OwnUB returns node n's own-list service upper bound for sc.
+func (f *Frozen) OwnUB(n int32, sc service.Scenario) float64 {
+	return f.ownUB[int(n)*service.NumScenarios+int(sc)]
+}
+
+// TreeUB returns the paper's `sub` for the subtree rooted at n.
+func (f *Frozen) TreeUB(n int32, sc service.Scenario) float64 {
+	return f.treeUB[int(n)*service.NumScenarios+int(sc)]
+}
+
+// ContainingPath returns the chain of node indexes from the root down to
+// the smallest node whose rectangle contains r — identical to the pointer
+// tree's ContainingPath.
+func (f *Frozen) ContainingPath(r geo.Rect) []int32 {
+	path := []int32{0}
+	n := int32(0)
+	for f.childCount[n] > 0 {
+		next := int32(-1)
+		base := f.childBase[n]
+		for i := int32(0); i < f.childCount[n]; i++ {
+			if f.nodeRect[base+i].ContainsRect(r) {
+				next = base + i
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		path = append(path, next)
+		n = next
+	}
+	return path
+}
+
+// ScoreNode runs the zReduce pruning over node n's own list against the
+// EMBR and exactly scores every surviving entry with ss — the frozen
+// counterpart of Tree.NodeCandidatesV feeding an entryScorer, fused into
+// one pass over the SoA columns so the hot loop touches nothing but flat
+// arrays. It returns the summed service (in slab order, so float results
+// are bit-identical to the pointer path) and the number of entries scored.
+func (f *Frozen) ScoreNode(n int32, embr geo.Rect, mode FilterMode, ss *service.StopSet, sc service.Scenario) (so float64, scored int) {
+	lo, hi := f.entryOff[n], f.entryOff[n+1]
+	if lo == hi {
+		return 0, 0
+	}
+	if f.ordering != ZOrder {
+		return f.scoreRange(lo, hi, embr, mode, ss, sc, 0, 0)
+	}
+	var ivs []zorder.Interval
+	var scratch *[]zorder.Interval
+	if mode == NeedBoth {
+		scratch = ivScratchPool.Get().(*[]zorder.Interval)
+		buf := (*scratch)[:0]
+		if int(hi-lo) >= coverMinList {
+			ivs = zorder.CoverIntervalsAuto(f.bounds, embr, coverBudget, buf)
+		} else {
+			ivs = append(buf, zorder.Interval{
+				Lo: pointCode(f.bounds, geo.Point{X: embr.MinX, Y: embr.MinY}),
+				Hi: pointCode(f.bounds, geo.Point{X: embr.MaxX, Y: embr.MaxY}),
+			})
+		}
+	}
+	blo, bhi := f.bucketOff[n], f.bucketOff[n+1]
+	if mode != NeedBoth || len(ivs) == 0 {
+		for b := blo; b < bhi; b++ {
+			so, scored = f.scoreBucket(b, embr, mode, ss, sc, so, scored)
+		}
+	} else {
+		// Candidates must have their start point inside the EMBR, so only
+		// buckets whose start-code range overlaps an interval of the
+		// EMBR's Morton cover can match; the cursor only moves forward.
+		bi := blo
+		for _, iv := range ivs {
+			for bi < bhi && f.bktMaxStart[bi] < iv.Lo {
+				bi++
+			}
+			for bi < bhi && f.bktMinStart[bi] <= iv.Hi {
+				so, scored = f.scoreBucket(bi, embr, mode, ss, sc, so, scored)
+				bi++
+			}
+			if bi == bhi {
+				break
+			}
+		}
+	}
+	if scratch != nil {
+		*scratch = ivs[:0]
+		ivScratchPool.Put(scratch)
+	}
+	return so, scored
+}
+
+// scoreBucket applies the bucket-granularity half of zReduce and scores
+// the bucket's surviving entries. so/scored are running accumulators:
+// threading one sum through every bucket keeps the float accumulation
+// flat left-to-right over all surviving entries, exactly as the pointer
+// path's entry visitor accumulates — per-bucket subtotals would group
+// the additions differently and drift in the last bits.
+func (f *Frozen) scoreBucket(b int32, embr geo.Rect, mode FilterMode, ss *service.StopSet, sc service.Scenario, so float64, scored int) (float64, int) {
+	switch mode {
+	case NeedBoth:
+		if !embr.Intersects(f.bktStartMBR[b]) || !embr.Intersects(f.bktEndMBR[b]) {
+			return so, scored
+		}
+	case NeedAny:
+		if !embr.Intersects(f.bktStartMBR[b]) && !embr.Intersects(f.bktEndMBR[b]) {
+			return so, scored
+		}
+	case NeedOverlap:
+		if !embr.Intersects(f.bktFullMBR[b]) {
+			return so, scored
+		}
+	}
+	return f.scoreRange(f.bktEntryOff[b], f.bktEntryOff[b+1], embr, mode, ss, sc, so, scored)
+}
+
+// scoreRange filters and scores the entry slab range [lo, hi) into the
+// running accumulators.
+func (f *Frozen) scoreRange(lo, hi int32, embr geo.Rect, mode FilterMode, ss *service.StopSet, sc service.Scenario, so float64, scored int) (float64, int) {
+	switch mode {
+	case NeedBoth:
+		for e := lo; e < hi; e++ {
+			if embr.Contains(f.entFirst[e]) && embr.Contains(f.entLast[e]) {
+				scored++
+				so += f.serve(e, sc, ss)
+			}
+		}
+	case NeedAny:
+		for e := lo; e < hi; e++ {
+			if embr.Contains(f.entFirst[e]) || embr.Contains(f.entLast[e]) {
+				scored++
+				so += f.serve(e, sc, ss)
+			}
+		}
+	case NeedOverlap:
+		for e := lo; e < hi; e++ {
+			if embr.Intersects(f.entMBR[e]) {
+				scored++
+				so += f.serve(e, sc, ss)
+			}
+		}
+	default:
+		panic("tqtree: invalid filter mode")
+	}
+	return so, scored
+}
+
+// serve computes entry e's exact service contribution — the columnar
+// counterpart of Entry.ServeSet, producing identical floats.
+func (f *Frozen) serve(e int32, sc service.Scenario, ss *service.StopSet) float64 {
+	seg := f.entSeg[e]
+	if seg < 0 {
+		if sc == service.Binary {
+			if ss.Served(f.entFirst[e]) && ss.Served(f.entLast[e]) {
+				return 1
+			}
+			return 0
+		}
+		return service.ValueSet(sc, f.trajs[f.entTraj[e]], ss)
+	}
+	switch sc {
+	case service.Binary:
+		if ss.Served(f.entFirst[e]) && ss.Served(f.entLast[e]) {
+			return 1
+		}
+		return 0
+	case service.PointCount:
+		u := f.trajs[f.entTraj[e]]
+		lo, hi := int(seg), int(seg)+1
+		if int(seg) == u.NumSegments()-1 {
+			hi = int(seg) + 2
+		}
+		served := 0
+		for i := lo; i < hi; i++ {
+			if ss.Served(u.Points[i]) {
+				served++
+			}
+		}
+		return float64(served) / float64(u.Len())
+	case service.Length:
+		u := f.trajs[f.entTraj[e]]
+		L := u.Length()
+		if L == 0 {
+			return 0
+		}
+		if ss.Served(f.entFirst[e]) && ss.Served(f.entLast[e]) {
+			return u.SegmentLength(int(seg)) / L
+		}
+		return 0
+	}
+	panic("tqtree: invalid scenario")
+}

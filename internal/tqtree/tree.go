@@ -417,23 +417,24 @@ func (t *Tree) HasMultipoint() bool { return t.hasMultipoint }
 // by a tree of this variant over the indexed data.
 var ErrUnsupported = errors.New("tqtree: scenario unsupported by index variant for multipoint data")
 
-// ValidateScenario checks that queries under sc are exact on this tree.
-// A TwoPoint tree indexes only source/destination, so over multipoint
-// data it can answer Binary queries only.
-func (t *Tree) ValidateScenario(sc service.Scenario) error {
+// validateScenario checks that queries under sc are exact for a tree of
+// the given variant over data with (or without) multipoint trajectories.
+// Shared by the pointer Tree and the Frozen layout so both representations
+// answer the same scenario questions identically.
+func validateScenario(v Variant, hasMultipoint bool, sc service.Scenario) error {
 	if !sc.Valid() {
 		return fmt.Errorf("tqtree: invalid scenario %d", int(sc))
 	}
-	if t.opts.Variant == TwoPoint && sc != service.Binary && t.hasMultipoint {
-		return fmt.Errorf("%w (variant %v, scenario %v)", ErrUnsupported, t.opts.Variant, sc)
+	if v == TwoPoint && sc != service.Binary && hasMultipoint {
+		return fmt.Errorf("%w (variant %v, scenario %v)", ErrUnsupported, v, sc)
 	}
 	return nil
 }
 
-// FilterModeFor returns the zReduce candidate predicate that is sound for
-// this tree's variant under the given scenario.
-func (t *Tree) FilterModeFor(sc service.Scenario) FilterMode {
-	switch t.opts.Variant {
+// filterModeFor returns the zReduce candidate predicate that is sound for
+// the given variant under the given scenario.
+func filterModeFor(v Variant, sc service.Scenario) FilterMode {
+	switch v {
 	case TwoPoint, Segmented:
 		if sc == service.PointCount {
 			return NeedAny
@@ -447,12 +448,11 @@ func (t *Tree) FilterModeFor(sc service.Scenario) FilterMode {
 	}
 }
 
-// AncestorsCanServe reports whether entries stored at proper ancestors of
+// ancestorsCanServe reports whether entries stored at proper ancestors of
 // the smallest node containing a facility's EMBR can still contribute
-// service under sc. When false, the best-first search can start at the
-// containing node alone (the paper's containingQNode initialization).
-func (t *Tree) AncestorsCanServe(sc service.Scenario) bool {
-	switch t.opts.Variant {
+// service under sc for the given variant.
+func ancestorsCanServe(v Variant, sc service.Scenario) bool {
+	switch v {
 	case TwoPoint, Segmented:
 		// Under NeedBoth semantics both endpoints would have to lie
 		// inside the EMBR, hence inside a single child — contradicting
@@ -465,6 +465,27 @@ func (t *Tree) AncestorsCanServe(sc service.Scenario) bool {
 		// points (or even source+destination) fall inside the EMBR.
 		return true
 	}
+}
+
+// ValidateScenario checks that queries under sc are exact on this tree.
+// A TwoPoint tree indexes only source/destination, so over multipoint
+// data it can answer Binary queries only.
+func (t *Tree) ValidateScenario(sc service.Scenario) error {
+	return validateScenario(t.opts.Variant, t.hasMultipoint, sc)
+}
+
+// FilterModeFor returns the zReduce candidate predicate that is sound for
+// this tree's variant under the given scenario.
+func (t *Tree) FilterModeFor(sc service.Scenario) FilterMode {
+	return filterModeFor(t.opts.Variant, sc)
+}
+
+// AncestorsCanServe reports whether entries stored at proper ancestors of
+// the smallest node containing a facility's EMBR can still contribute
+// service under sc. When false, the best-first search can start at the
+// containing node alone (the paper's containingQNode initialization).
+func (t *Tree) AncestorsCanServe(sc service.Scenario) bool {
+	return ancestorsCanServe(t.opts.Variant, sc)
 }
 
 // ivScratchPool recycles the Morton-interval scratch NodeCandidates

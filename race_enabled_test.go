@@ -1,0 +1,8 @@
+//go:build race
+
+package trajcover
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately drops items to widen interleaving coverage, so
+// allocation-count assertions are not meaningful.
+const raceEnabled = true

@@ -6,7 +6,7 @@ package trajcover
 // TQ-tree(s), which is fast (a few hundred milliseconds per million
 // trips) and keeps the format decoupled from the in-memory node layout.
 //
-// Two stream formats share the encoding of a trajectory payload:
+// Two rebuild-format streams share the encoding of a trajectory payload:
 //
 //	TQSNAP02 — single index: header, one trajectory payload, CRC trailer.
 //	           (TQSNAP01, without the MaxDepth header field, is still
@@ -17,6 +17,10 @@ package trajcover
 //	           partition itself, so restoring never re-runs the
 //	           partitioner — each shard rebuilds from its own frame, one
 //	           frame (and one shard) at a time.
+//
+// The frozen columnar formats (TQSNAP03/TQSHRD02, snapshot_frozen.go)
+// serialize a FrozenIndex's flat slices verbatim instead, trading the
+// rebuild for a bulk read plus bounds checks on restore.
 
 import (
 	"bufio"
@@ -169,8 +173,11 @@ func ReadSnapshot(r io.Reader) (*Index, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	if magic == shardedMagic {
-		return nil, fmt.Errorf("%w: sharded snapshot; use ReadShardedSnapshot", ErrBadSnapshot)
+	if magic == shardedMagic || magic == shardedFrozenMagic {
+		return nil, fmt.Errorf("%w: sharded snapshot; use ReadShardedSnapshot or ReadFrozenShardedSnapshot", ErrBadSnapshot)
+	}
+	if magic == frozenMagic {
+		return nil, fmt.Errorf("%w: frozen snapshot; use ReadFrozenSnapshot", ErrBadSnapshot)
 	}
 	if magic != snapshotMagic && magic != snapshotMagicV1 {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
@@ -317,8 +324,11 @@ func ReadShardedSnapshot(r io.Reader) (*ShardedIndex, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	if magic == snapshotMagic {
-		return nil, fmt.Errorf("%w: single-index snapshot; use ReadSnapshot", ErrBadSnapshot)
+	if magic == snapshotMagic || magic == snapshotMagicV1 || magic == frozenMagic {
+		return nil, fmt.Errorf("%w: single-index snapshot; use ReadSnapshot or ReadFrozenSnapshot", ErrBadSnapshot)
+	}
+	if magic == shardedFrozenMagic {
+		return nil, fmt.Errorf("%w: frozen sharded snapshot; use ReadFrozenShardedSnapshot", ErrBadSnapshot)
 	}
 	if magic != shardedMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)

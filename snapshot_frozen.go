@@ -1,0 +1,597 @@
+package trajcover
+
+// Frozen snapshot persistence. Unlike TQSNAP02/TQSHRD01 — which store
+// raw trajectories and rebuild the TQ-tree on restore — the frozen
+// formats serialize the columnar index slices nearly verbatim:
+//
+//	TQSNAP03 — single frozen index: magic, frozen payload, CRC trailer.
+//	TQSHRD02 — sharded frozen container: CRC'd shared header (shard
+//	           count, partitioner kind), then one length-prefixed,
+//	           individually CRC'd frozen payload per shard.
+//
+// A frozen payload is the column slices of tqtree.FrozenColumns in fixed
+// order plus the trajectory table (in entry-slab first-appearance order,
+// so entTraj indexes resolve by position). Restoring is a bulk read, the
+// CRC check, and the structural bounds validation in
+// tqtree.FrozenFromColumns — no tree rebuild, no sorting — which is what
+// makes frozen restore several times faster than the rebuild formats.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/query"
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/shard"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+var (
+	frozenMagic        = [8]byte{'T', 'Q', 'S', 'N', 'A', 'P', '0', '3'}
+	shardedFrozenMagic = [8]byte{'T', 'Q', 'S', 'H', 'R', 'D', '0', '2'}
+)
+
+// colWriter batches little-endian column writes through one buffer so a
+// whole payload costs a handful of Write calls per column instead of one
+// per value.
+type colWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func newColWriter(w io.Writer) *colWriter {
+	return &colWriter{w: w, buf: make([]byte, 0, 1<<16)}
+}
+
+func (cw *colWriter) flushIfFull() {
+	if len(cw.buf) >= (1<<16)-16 {
+		cw.flush()
+	}
+}
+
+func (cw *colWriter) flush() {
+	if cw.err == nil && len(cw.buf) > 0 {
+		_, cw.err = cw.w.Write(cw.buf)
+	}
+	cw.buf = cw.buf[:0]
+}
+
+func (cw *colWriter) u64(v uint64) {
+	cw.buf = binary.LittleEndian.AppendUint64(cw.buf, v)
+	cw.flushIfFull()
+}
+
+func (cw *colWriter) u32(v uint32) {
+	cw.buf = binary.LittleEndian.AppendUint32(cw.buf, v)
+	cw.flushIfFull()
+}
+
+func (cw *colWriter) u64s(vs []uint64) {
+	for _, v := range vs {
+		cw.u64(v)
+	}
+}
+
+func (cw *colWriter) f64s(vs []float64) {
+	for _, v := range vs {
+		cw.u64(math.Float64bits(v))
+	}
+}
+
+func (cw *colWriter) i32s(vs []int32) {
+	for _, v := range vs {
+		cw.u32(uint32(v))
+	}
+}
+
+func (cw *colWriter) rects(vs []geo.Rect) {
+	for _, r := range vs {
+		cw.u64(math.Float64bits(r.MinX))
+		cw.u64(math.Float64bits(r.MinY))
+		cw.u64(math.Float64bits(r.MaxX))
+		cw.u64(math.Float64bits(r.MaxY))
+	}
+}
+
+func (cw *colWriter) points(vs []geo.Point) {
+	for _, p := range vs {
+		cw.u64(math.Float64bits(p.X))
+		cw.u64(math.Float64bits(p.Y))
+	}
+}
+
+// colReader is the bulk little-endian reader. Columns are grown by
+// append in bounded chunks, so memory consumption tracks the bytes
+// actually present in the stream — a corrupt count fails with a
+// truncation error instead of one absurd allocation.
+type colReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+func newColReader(r io.Reader) *colReader {
+	return &colReader{r: r, buf: make([]byte, 1<<16)}
+}
+
+// chunk reads exactly n*width bytes in buffer-sized pieces, invoking fn
+// on each piece.
+func (cr *colReader) chunk(n, width int, fn func(b []byte)) error {
+	per := len(cr.buf) / width
+	for n > 0 {
+		c := n
+		if c > per {
+			c = per
+		}
+		b := cr.buf[:c*width]
+		if _, err := io.ReadFull(cr.r, b); err != nil {
+			return fmt.Errorf("%w: truncated column (%v)", ErrBadSnapshot, err)
+		}
+		fn(b)
+		n -= c
+	}
+	return nil
+}
+
+func (cr *colReader) u64(dst *uint64) error {
+	b := cr.buf[:8]
+	if _, err := io.ReadFull(cr.r, b); err != nil {
+		return fmt.Errorf("%w: truncated header (%v)", ErrBadSnapshot, err)
+	}
+	*dst = binary.LittleEndian.Uint64(b)
+	return nil
+}
+
+func (cr *colReader) u64s(n int) ([]uint64, error) {
+	out := make([]uint64, 0, minInt(n, 1<<16))
+	err := cr.chunk(n, 8, func(b []byte) {
+		for i := 0; i < len(b); i += 8 {
+			out = append(out, binary.LittleEndian.Uint64(b[i:]))
+		}
+	})
+	return out, err
+}
+
+func (cr *colReader) f64s(n int) ([]float64, error) {
+	out := make([]float64, 0, minInt(n, 1<<16))
+	err := cr.chunk(n, 8, func(b []byte) {
+		for i := 0; i < len(b); i += 8 {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(b[i:])))
+		}
+	})
+	return out, err
+}
+
+func (cr *colReader) i32s(n int) ([]int32, error) {
+	out := make([]int32, 0, minInt(n, 1<<16))
+	err := cr.chunk(n, 4, func(b []byte) {
+		for i := 0; i < len(b); i += 4 {
+			out = append(out, int32(binary.LittleEndian.Uint32(b[i:])))
+		}
+	})
+	return out, err
+}
+
+func (cr *colReader) rects(n int) ([]geo.Rect, error) {
+	out := make([]geo.Rect, 0, minInt(n, 1<<14))
+	err := cr.chunk(n, 32, func(b []byte) {
+		for i := 0; i < len(b); i += 32 {
+			out = append(out, geo.Rect{
+				MinX: math.Float64frombits(binary.LittleEndian.Uint64(b[i:])),
+				MinY: math.Float64frombits(binary.LittleEndian.Uint64(b[i+8:])),
+				MaxX: math.Float64frombits(binary.LittleEndian.Uint64(b[i+16:])),
+				MaxY: math.Float64frombits(binary.LittleEndian.Uint64(b[i+24:])),
+			})
+		}
+	})
+	return out, err
+}
+
+func (cr *colReader) pointsInto(dst []geo.Point, n int) ([]geo.Point, error) {
+	err := cr.chunk(n, 16, func(b []byte) {
+		for i := 0; i < len(b); i += 16 {
+			dst = append(dst, geo.Point{
+				X: math.Float64frombits(binary.LittleEndian.Uint64(b[i:])),
+				Y: math.Float64frombits(binary.LittleEndian.Uint64(b[i+8:])),
+			})
+		}
+	})
+	return dst, err
+}
+
+func (cr *colReader) points(n int) ([]geo.Point, error) {
+	return cr.pointsInto(make([]geo.Point, 0, minInt(n, 1<<15)), n)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// frozenPayloadSize returns the exact encoded byte size of
+// writeFrozenPayload's output — used to length-prefix TQSHRD02 frames
+// without buffering them.
+func frozenPayloadSize(f *tqtree.Frozen) uint64 {
+	c := f.Columns()
+	nn := uint64(len(c.NodeRect))
+	nb := uint64(len(c.BktMinStart))
+	ne := uint64(len(c.EntFirst))
+	size := uint64(12 * 8)                            // header
+	size += nn * 32                                   // node rects
+	size += nn * 4 * 2                                // childBase, childCount
+	size += (nn + 1) * 4                              // entryOff
+	size += nn * 8 * 2 * uint64(service.NumScenarios) // ownUB + treeUB
+	if c.Ordering == tqtree.ZOrder {
+		size += (nn + 1) * 4 // bucketOff
+		size += (nb + 1) * 4 // bktEntryOff
+		size += nb * 8 * 2   // bktMinStart, bktMaxStart
+		size += nb * 32 * 3  // bucket MBRs
+	}
+	size += ne * 16 * 2 // entFirst, entLast
+	size += ne * 32     // entMBR
+	size += ne * 4 * 2  // entTraj, entSeg
+	for _, t := range f.Trajectories() {
+		size += trajectorySize(t)
+	}
+	return size
+}
+
+// writeFrozenPayload encodes the frozen index: a fixed header, the column
+// slices in fixed order, then the trajectory table.
+func writeFrozenPayload(w io.Writer, f *tqtree.Frozen) error {
+	c := f.Columns()
+	cw := newColWriter(w)
+	cw.u64(uint64(c.Variant))
+	cw.u64(uint64(c.Ordering))
+	cw.u64(uint64(c.Beta))
+	cw.u64(uint64(c.MaxDepth))
+	cw.u64(math.Float64bits(c.Bounds.MinX))
+	cw.u64(math.Float64bits(c.Bounds.MinY))
+	cw.u64(math.Float64bits(c.Bounds.MaxX))
+	cw.u64(math.Float64bits(c.Bounds.MaxY))
+	cw.u64(uint64(len(c.NodeRect)))
+	cw.u64(uint64(len(c.BktMinStart)))
+	cw.u64(uint64(len(c.EntFirst)))
+	cw.u64(uint64(len(f.Trajectories())))
+
+	cw.rects(c.NodeRect)
+	cw.i32s(c.ChildBase)
+	cw.i32s(c.ChildCount)
+	cw.i32s(c.EntryOff)
+	cw.f64s(c.OwnUB)
+	cw.f64s(c.TreeUB)
+	if c.Ordering == tqtree.ZOrder {
+		cw.i32s(c.BucketOff)
+		cw.i32s(c.BktEntryOff)
+		cw.u64s(c.BktMinStart)
+		cw.u64s(c.BktMaxStart)
+		cw.rects(c.BktStartMBR)
+		cw.rects(c.BktEndMBR)
+		cw.rects(c.BktFullMBR)
+	}
+	cw.points(c.EntFirst)
+	cw.points(c.EntLast)
+	cw.rects(c.EntMBR)
+	cw.i32s(c.EntTraj)
+	cw.i32s(c.EntSeg)
+
+	for _, t := range f.Trajectories() {
+		cw.u32(uint32(t.ID))
+		cw.u32(uint32(t.Len()))
+		cw.points(t.Points)
+	}
+	cw.flush()
+	return cw.err
+}
+
+// readFrozenPayload decodes a frozen payload and reassembles the index
+// (structural validation included) together with its trajectory set.
+func readFrozenPayload(r io.Reader) (*tqtree.Frozen, *trajectory.Set, error) {
+	cr := newColReader(r)
+	var header [12]uint64
+	for i := range header {
+		if err := cr.u64(&header[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	c := tqtree.FrozenColumns{
+		Variant:  tqtree.Variant(header[0]),
+		Ordering: tqtree.Ordering(header[1]),
+		Beta:     int(header[2]),
+		MaxDepth: int(header[3]),
+		Bounds: geo.Rect{
+			MinX: math.Float64frombits(header[4]),
+			MinY: math.Float64frombits(header[5]),
+			MaxX: math.Float64frombits(header[6]),
+			MaxY: math.Float64frombits(header[7]),
+		},
+	}
+	nn, nb, ne, nt := header[8], header[9], header[10], header[11]
+	if c.Ordering != tqtree.ZOrder && c.Ordering != tqtree.Basic {
+		return nil, nil, fmt.Errorf("%w: invalid ordering %d", ErrBadSnapshot, header[1])
+	}
+	// Structural plausibility before any large read: every bucket holds
+	// at least one entry and every indexed trajectory contributes at
+	// least one entry, so corrupt counts fail here.
+	const maxCount = 1 << 31
+	if nn == 0 || nn > maxCount || ne > maxCount || nb > ne || nt > ne || (ne > 0 && nt == 0) {
+		return nil, nil, fmt.Errorf("%w: implausible frozen counts (nodes %d, buckets %d, entries %d, trajectories %d)",
+			ErrBadSnapshot, nn, nb, ne, nt)
+	}
+	if c.Ordering == tqtree.Basic && nb != 0 {
+		return nil, nil, fmt.Errorf("%w: basic ordering with %d buckets", ErrBadSnapshot, nb)
+	}
+
+	var err error
+	if c.NodeRect, err = cr.rects(int(nn)); err == nil {
+		if c.ChildBase, err = cr.i32s(int(nn)); err == nil {
+			c.ChildCount, err = cr.i32s(int(nn))
+		}
+	}
+	if err == nil {
+		c.EntryOff, err = cr.i32s(int(nn) + 1)
+	}
+	if err == nil {
+		c.OwnUB, err = cr.f64s(int(nn) * service.NumScenarios)
+	}
+	if err == nil {
+		c.TreeUB, err = cr.f64s(int(nn) * service.NumScenarios)
+	}
+	if err == nil && c.Ordering == tqtree.ZOrder {
+		c.BucketOff, err = cr.i32s(int(nn) + 1)
+		if err == nil {
+			c.BktEntryOff, err = cr.i32s(int(nb) + 1)
+		}
+		if err == nil {
+			c.BktMinStart, err = cr.u64s(int(nb))
+		}
+		if err == nil {
+			c.BktMaxStart, err = cr.u64s(int(nb))
+		}
+		if err == nil {
+			c.BktStartMBR, err = cr.rects(int(nb))
+		}
+		if err == nil {
+			c.BktEndMBR, err = cr.rects(int(nb))
+		}
+		if err == nil {
+			c.BktFullMBR, err = cr.rects(int(nb))
+		}
+	}
+	if err == nil {
+		c.EntFirst, err = cr.points(int(ne))
+	}
+	if err == nil {
+		c.EntLast, err = cr.points(int(ne))
+	}
+	if err == nil {
+		c.EntMBR, err = cr.rects(int(ne))
+	}
+	if err == nil {
+		c.EntTraj, err = cr.i32s(int(ne))
+	}
+	if err == nil {
+		c.EntSeg, err = cr.i32s(int(ne))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	trajs := make([]*trajectory.Trajectory, 0, minInt(int(nt), 1<<16))
+	for i := uint64(0); i < nt; i++ {
+		var idNpts [2]uint32
+		b := cr.buf[:8]
+		if _, err := io.ReadFull(cr.r, b); err != nil {
+			return nil, nil, fmt.Errorf("%w: truncated trajectory %d", ErrBadSnapshot, i)
+		}
+		idNpts[0] = binary.LittleEndian.Uint32(b)
+		idNpts[1] = binary.LittleEndian.Uint32(b[4:])
+		if idNpts[1] < 2 || idNpts[1] > 1<<24 {
+			return nil, nil, fmt.Errorf("%w: trajectory %d has %d points", ErrBadSnapshot, i, idNpts[1])
+		}
+		pts, err := cr.pointsInto(make([]geo.Point, 0, idNpts[1]), int(idNpts[1]))
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := trajectory.New(trajectory.ID(idNpts[0]), pts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		trajs = append(trajs, t)
+	}
+	set, err := trajectory.NewSet(trajs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	f, err := tqtree.FrozenFromColumns(c, trajs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return f, set, nil
+}
+
+// WriteSnapshot serializes the frozen index as a TQSNAP03 stream: the
+// columnar payload framed by a magic header and a CRC32 trailer.
+func (x *FrozenIndex) WriteSnapshot(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := mw.Write(frozenMagic[:]); err != nil {
+		return err
+	}
+	if err := writeFrozenPayload(mw, x.engine.Frozen()); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// ReadFrozenSnapshot restores a FrozenIndex written by
+// (*FrozenIndex).WriteSnapshot. The columns are bulk-read, checksummed,
+// and bounds-checked — no tree rebuild. Rebuild-format and sharded
+// streams are detected and rejected with a pointer to the right reader.
+func ReadFrozenSnapshot(r io.Reader) (*FrozenIndex, error) {
+	base := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	br := &hashReader{r: base, crc: crc}
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	switch magic {
+	case frozenMagic:
+	case snapshotMagic, snapshotMagicV1:
+		return nil, fmt.Errorf("%w: rebuild-format snapshot; use ReadSnapshot", ErrBadSnapshot)
+	case shardedMagic, shardedFrozenMagic:
+		return nil, fmt.Errorf("%w: sharded snapshot; use ReadShardedSnapshot or ReadFrozenShardedSnapshot", ErrBadSnapshot)
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	f, set, err := readFrozenPayload(br)
+	if err != nil {
+		return nil, err
+	}
+	want := crc.Sum32()
+	var got uint32
+	if err := binary.Read(base, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrBadSnapshot)
+	}
+	if got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadSnapshot)
+	}
+	return &FrozenIndex{engine: query.NewFrozenEngine(f, set), set: set}, nil
+}
+
+// WriteSnapshot serializes the frozen sharded index as a TQSHRD02
+// container: a CRC'd shared header (shard count, partitioner kind), then
+// one length-prefixed, individually CRC'd frozen payload per shard.
+// Per-frame checksums localize corruption to one shard and the length
+// prefixes let tooling skip frames without decoding them.
+func (x *FrozenShardedIndex) WriteSnapshot(w io.Writer) error {
+	kind := x.s.PartitionerKind()
+
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if _, err := mw.Write(shardedFrozenMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, uint64(x.s.NumShards())); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, uint32(len(kind))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(mw, kind); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+
+	for i := 0; i < x.s.NumShards(); i++ {
+		f := x.s.Engine(i).Frozen()
+		if err := binary.Write(w, binary.LittleEndian, frozenPayloadSize(f)); err != nil {
+			return err
+		}
+		fcrc := crc32.NewIEEE()
+		if err := writeFrozenPayload(io.MultiWriter(w, fcrc), f); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, fcrc.Sum32()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrozenShardedSnapshot restores a FrozenShardedIndex written by
+// (*FrozenShardedIndex).WriteSnapshot, bulk-reading each shard's columns
+// from its own frame.
+func ReadFrozenShardedSnapshot(r io.Reader) (*FrozenShardedIndex, error) {
+	base := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	br := &hashReader{r: base, crc: crc}
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	switch magic {
+	case shardedFrozenMagic:
+	case shardedMagic:
+		return nil, fmt.Errorf("%w: rebuild-format sharded snapshot; use ReadShardedSnapshot", ErrBadSnapshot)
+	case snapshotMagic, snapshotMagicV1, frozenMagic:
+		return nil, fmt.Errorf("%w: single-index snapshot; use ReadSnapshot or ReadFrozenSnapshot", ErrBadSnapshot)
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	var nShards uint64
+	if err := binary.Read(br, binary.LittleEndian, &nShards); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadSnapshot)
+	}
+	var kindLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &kindLen); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadSnapshot)
+	}
+	if kindLen > 256 {
+		return nil, fmt.Errorf("%w: implausible partitioner kind length %d", ErrBadSnapshot, kindLen)
+	}
+	kindBuf := make([]byte, kindLen)
+	if _, err := io.ReadFull(br, kindBuf); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadSnapshot)
+	}
+	wantHdr := crc.Sum32()
+	var gotHdr uint32
+	if err := binary.Read(base, binary.LittleEndian, &gotHdr); err != nil {
+		return nil, fmt.Errorf("%w: missing header checksum", ErrBadSnapshot)
+	}
+	if gotHdr != wantHdr {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrBadSnapshot)
+	}
+
+	const maxShards = 1 << 16
+	if nShards == 0 || nShards > maxShards {
+		return nil, fmt.Errorf("%w: implausible shard count %d", ErrBadSnapshot, nShards)
+	}
+	engines := make([]*query.FrozenEngine, 0, nShards)
+	bounds := geo.Rect{}
+	for s := uint64(0); s < nShards; s++ {
+		var payloadLen uint64
+		if err := binary.Read(base, binary.LittleEndian, &payloadLen); err != nil {
+			return nil, fmt.Errorf("%w: truncated frame %d", ErrBadSnapshot, s)
+		}
+		fcrc := crc32.NewIEEE()
+		fr := &hashReader{r: io.LimitReader(base, int64(payloadLen)), crc: fcrc}
+		f, set, err := readFrozenPayload(fr)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", s, err)
+		}
+		// The frame must be fully consumed: leftover bytes mean the
+		// length prefix and the payload disagree.
+		if n, _ := io.Copy(io.Discard, fr); n != 0 {
+			return nil, fmt.Errorf("%w: frame %d has %d trailing bytes", ErrBadSnapshot, s, n)
+		}
+		wantFrame := fcrc.Sum32()
+		var gotFrame uint32
+		if err := binary.Read(base, binary.LittleEndian, &gotFrame); err != nil {
+			return nil, fmt.Errorf("%w: frame %d missing checksum", ErrBadSnapshot, s)
+		}
+		if gotFrame != wantFrame {
+			return nil, fmt.Errorf("%w: frame %d checksum mismatch", ErrBadSnapshot, s)
+		}
+		if s == 0 {
+			bounds = f.Bounds()
+		}
+		engines = append(engines, query.NewFrozenEngine(f, set))
+	}
+	sf, err := shard.FrozenFromEngines(engines, bounds, string(kindBuf))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return &FrozenShardedIndex{s: sf}, nil
+}

@@ -1,0 +1,270 @@
+package trajcover
+
+// Robustness properties of every snapshot format, rebuild and frozen:
+//
+//   - write → read → write is byte-identical (the stream is a pure
+//     function of the index state, so re-snapshotting a restored index
+//     reproduces the original bytes);
+//   - every truncation and every single-bit flip of a valid stream is
+//     rejected with an error — never a panic, never a silently wrong
+//     index (all four formats checksum every byte they read).
+//
+// The corruption sweeps run the full decode for every mutation, so they
+// use a small corpus; the fuzz targets below extend the same no-panic
+// property to arbitrary adversarial bytes.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// snapshotFormat is one (writer, reader) pair under test.
+type snapshotFormat struct {
+	name  string
+	write func(w io.Writer) error
+	read  func(r io.Reader) error
+}
+
+// snapshotFormats builds one small index per layout and returns all four
+// formats wired to it.
+func snapshotFormats(t testing.TB) []snapshotFormat {
+	t.Helper()
+	ny := NewYorkCity()
+	users := TaxiTrips(ny, 30, 41)
+	idx, err := NewIndex(users, IndexOptions{Ordering: ZOrdering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := idx.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sidx, err := NewShardedIndex(users, ShardOptions{Shards: 2, Index: IndexOptions{Ordering: ZOrdering}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfz, err := sidx.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []snapshotFormat{
+		{"TQSNAP02", idx.WriteSnapshot, func(r io.Reader) error { _, err := ReadSnapshot(r); return err }},
+		{"TQSNAP03", fz.WriteSnapshot, func(r io.Reader) error { _, err := ReadFrozenSnapshot(r); return err }},
+		{"TQSHRD01", sidx.WriteSnapshot, func(r io.Reader) error { _, err := ReadShardedSnapshot(r); return err }},
+		{"TQSHRD02", sfz.WriteSnapshot, func(r io.Reader) error { _, err := ReadFrozenShardedSnapshot(r); return err }},
+	}
+}
+
+func snapshotBytes(t testing.TB, f snapshotFormat) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.write(&buf); err != nil {
+		t.Fatalf("%s: write: %v", f.name, err)
+	}
+	return buf.Bytes()
+}
+
+func pick(cond bool, a, b int) int {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// readNoPanic runs the reader and converts any panic into an error the
+// test can assert on — the property under test is that corrupt streams
+// never panic.
+func readNoPanic(f snapshotFormat, data []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("PANIC: %v", r)
+		}
+	}()
+	return f.read(bytes.NewReader(data))
+}
+
+// TestSnapshotRoundTripByteIdentical: restoring a snapshot and
+// re-snapshotting the restored index reproduces the original stream
+// byte for byte, for all four formats.
+func TestSnapshotRoundTripByteIdentical(t *testing.T) {
+	ny := NewYorkCity()
+	users := TaxiTrips(ny, 60, 41)
+
+	idx, err := NewIndex(users, IndexOptions{Ordering: ZOrdering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := idx.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sidx, err := NewShardedIndex(users, ShardOptions{Shards: 2, Index: IndexOptions{Ordering: ZOrdering}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfz, err := sidx.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, first []byte, rewrite func() ([]byte, error)) {
+		t.Helper()
+		second, err := rewrite()
+		if err != nil {
+			t.Fatalf("%s: rewrite: %v", name, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%s: rewrite differs (%d vs %d bytes)", name, len(first), len(second))
+		}
+	}
+
+	var b1 bytes.Buffer
+	if err := idx.WriteSnapshot(&b1); err != nil {
+		t.Fatal(err)
+	}
+	check("TQSNAP02", b1.Bytes(), func() ([]byte, error) {
+		r, err := ReadSnapshot(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		err = r.WriteSnapshot(&out)
+		return out.Bytes(), err
+	})
+
+	var b2 bytes.Buffer
+	if err := fz.WriteSnapshot(&b2); err != nil {
+		t.Fatal(err)
+	}
+	check("TQSNAP03", b2.Bytes(), func() ([]byte, error) {
+		r, err := ReadFrozenSnapshot(bytes.NewReader(b2.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		err = r.WriteSnapshot(&out)
+		return out.Bytes(), err
+	})
+
+	var b3 bytes.Buffer
+	if err := sidx.WriteSnapshot(&b3); err != nil {
+		t.Fatal(err)
+	}
+	check("TQSHRD01", b3.Bytes(), func() ([]byte, error) {
+		r, err := ReadShardedSnapshot(bytes.NewReader(b3.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		err = r.WriteSnapshot(&out)
+		return out.Bytes(), err
+	})
+
+	var b4 bytes.Buffer
+	if err := sfz.WriteSnapshot(&b4); err != nil {
+		t.Fatal(err)
+	}
+	check("TQSHRD02", b4.Bytes(), func() ([]byte, error) {
+		r, err := ReadFrozenShardedSnapshot(bytes.NewReader(b4.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		err = r.WriteSnapshot(&out)
+		return out.Bytes(), err
+	})
+
+	// The frozen restore must answer like the original frozen index.
+	routes := BusRoutes(ny, 8, 6, 2)
+	q := Query{Scenario: Binary, Psi: DefaultPsi}
+	want, err := fz.TopK(routes, 4, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadFrozenSnapshot(bytes.NewReader(b2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.TopK(routes, 4, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRanked(t, q.Scenario, want, got)
+}
+
+// TestSnapshotTruncation: every proper prefix of a valid stream is
+// rejected with an error and never panics.
+func TestSnapshotTruncation(t *testing.T) {
+	for _, f := range snapshotFormats(t) {
+		data := snapshotBytes(t, f)
+		// Every length would be O(n²); step through all short prefixes
+		// (headers, counts) and sample the long tail densely.
+		step := 1
+		if len(data) > 2048 {
+			step = 7
+		}
+		for cut := 0; cut < len(data); cut += step {
+			if err := readNoPanic(f, data[:cut]); err == nil {
+				t.Fatalf("%s: truncation at %d/%d bytes accepted", f.name, cut, len(data))
+			}
+		}
+	}
+}
+
+// TestSnapshotBitFlip: flipping any single bit of a valid stream is
+// rejected with an error and never panics — every byte of every format
+// is covered by a checksum (or is the checksum itself).
+func TestSnapshotBitFlip(t *testing.T) {
+	for _, f := range snapshotFormats(t) {
+		data := snapshotBytes(t, f)
+		// Flipping every byte of every stream is O(n²) decode work; cover
+		// all of the header/count region and sample the bulk + trailer.
+		step := 1
+		if len(data) > 2048 {
+			step = 11
+		}
+		for i := 0; i < len(data); i += pick(i < 128 || i >= len(data)-8, 1, step) {
+			data[i] ^= 1 << (i % 8)
+			err := readNoPanic(f, data)
+			data[i] ^= 1 << (i % 8)
+			if err == nil {
+				t.Fatalf("%s: bit flip at byte %d/%d accepted", f.name, i, len(data))
+			}
+		}
+	}
+}
+
+// FuzzReadSnapshot feeds arbitrary bytes to both single-index readers;
+// neither may panic.
+func FuzzReadSnapshot(f *testing.F) {
+	formats := snapshotFormats(f)
+	for _, sf := range formats {
+		data := snapshotBytes(f, sf)
+		f.Add(data)
+		if len(data) > 64 {
+			f.Add(data[:64])
+		}
+	}
+	f.Add([]byte("TQSNAP03"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadSnapshot(bytes.NewReader(data))
+		_, _ = ReadFrozenSnapshot(bytes.NewReader(data))
+	})
+}
+
+// FuzzReadShardedSnapshot feeds arbitrary bytes to both sharded readers;
+// neither may panic.
+func FuzzReadShardedSnapshot(f *testing.F) {
+	formats := snapshotFormats(f)
+	for _, sf := range formats {
+		f.Add(snapshotBytes(f, sf))
+	}
+	f.Add([]byte("TQSHRD02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadShardedSnapshot(bytes.NewReader(data))
+		_, _ = ReadFrozenShardedSnapshot(bytes.NewReader(data))
+	})
+}
