@@ -195,3 +195,73 @@ func TestRunShardedRejections(t *testing.T) {
 		t.Error("unknown partitioner accepted")
 	}
 }
+
+// TestRunLiveTopKMatchesSingleTree: -live serving answers the same
+// top-k as the plain mutable index, for 1 and 2 shards.
+func TestRunLiveTopKMatchesSingleTree(t *testing.T) {
+	users, routes := writeWorkload(t)
+	var single strings.Builder
+	if err := run([]string{"-users", users, "-routes", routes, "-query", "topk", "-k", "5"}, &single); err != nil {
+		t.Fatal(err)
+	}
+	wantRows := resultRows(single.String())
+	for _, shards := range []string{"1", "2"} {
+		var out strings.Builder
+		err := run([]string{
+			"-users", users, "-routes", routes, "-query", "topk", "-k", "5",
+			"-live", "-shards", shards,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "serving live from "+shards+" epoch shard(s)") {
+			t.Errorf("missing live line:\n%s", got)
+		}
+		if gotRows := resultRows(got); gotRows != wantRows {
+			t.Errorf("live (%s shards) results differ:\n%s\nwant:\n%s", shards, gotRows, wantRows)
+		}
+	}
+}
+
+// TestRunLiveChurn exercises the -churn harness: concurrent writes
+// against a repeating query, with the latency summary line emitted.
+func TestRunLiveChurn(t *testing.T) {
+	users, routes := writeWorkload(t)
+	var out strings.Builder
+	err := run([]string{
+		"-users", users, "-routes", routes, "-query", "topk", "-k", "3",
+		"-live", "-churn", "300", "-churn-maxdelta", "48",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "churn: 300 writes concurrent with ") {
+		t.Errorf("missing churn summary:\n%s", got)
+	}
+	if !strings.Contains(got, "background swaps ") {
+		t.Errorf("missing swap count:\n%s", got)
+	}
+}
+
+// TestRunLiveRejections covers the live-mode error paths.
+func TestRunLiveRejections(t *testing.T) {
+	users, routes := writeWorkload(t)
+	var out strings.Builder
+	if err := run([]string{
+		"-users", users, "-routes", routes, "-query", "maxcov", "-live",
+	}, &out); err == nil {
+		t.Error("maxcov with -live accepted")
+	}
+	if err := run([]string{
+		"-users", users, "-routes", routes, "-query", "topk", "-live", "-frozen",
+	}, &out); err == nil {
+		t.Error("-live -frozen accepted")
+	}
+	if err := run([]string{
+		"-users", users, "-routes", routes, "-query", "topk", "-churn", "10",
+	}, &out); err == nil {
+		t.Error("-churn without -live accepted")
+	}
+}

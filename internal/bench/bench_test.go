@@ -28,6 +28,7 @@ func TestRegistryCoversEveryFigure(t *testing.T) {
 		"pbuild",
 		"shards",
 		"frozen",
+		"churn",
 	}
 	reg := Registry()
 	have := map[string]bool{}

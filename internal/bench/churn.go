@@ -1,0 +1,134 @@
+package bench
+
+// The churn experiment: query latency under live writes. A live
+// epoch-serving index (internal/shard.Live) absorbs an interleaved
+// insert/delete/query stream while background rebuilds fold the delta
+// overlay and swap frozen bases underneath the queries. The series
+// report the query latency distribution (p50/p99) per write fraction —
+// the claim under test is that a background swap never stops the world:
+// p99 under churn should stay within small multiples of the write-free
+// steady state, because readers only ever load an epoch pointer and
+// rebuilds happen off the serving path.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/trajcover/trajcover/internal/datagen"
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/shard"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+	"math/rand"
+)
+
+// churnWriteFractions is the experiment's x-axis: the fraction of
+// operations that are writes (0 = read-only steady state).
+var churnWriteFractions = []float64{0, 0.1, 0.3, 0.5}
+
+// churnQueries is the number of timed queries per row.
+const churnQueries = 400
+
+// expChurn interleaves inserts, deletes, and single-facility
+// ServiceValue queries over a live index at each write fraction, timing
+// every query. Writes go 70% inserts / 30% deletes; the compaction
+// policy is tuned so several background rebuild-and-swap cycles land
+// inside each churned row (the swaps(n) series records how many).
+func expChurn(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID: "churn", Title: "query latency under live churn (NYT)",
+		XLabel: "write fraction", YLabel: "seconds per query (swaps(n): completed background swaps)",
+		Series: []Series{{Method: "p50"}, {Method: "p99"}, {Method: "swaps(n)"}},
+	}
+	users := ctx.Users(dsNYT, datagen.NYT1Day)
+	fs := ctx.Routes("ny", defaultFacilities, defaultStops)
+	p := ctx.Params(service.Binary)
+
+	baseN := users.Len() * 2 / 3
+	base := users.All[:baseN]
+	feed := users.All[baseN:]
+
+	for _, frac := range churnWriteFractions {
+		// Threshold sized so this row's write volume crosses it several
+		// times — each crossing is one background rebuild-and-swap.
+		expectedWrites := 0
+		if frac > 0 {
+			expectedWrites = int(frac / (1 - frac) * churnQueries)
+		}
+		maxDelta := expectedWrites / 5
+		if maxDelta < 12 {
+			maxDelta = 12
+		}
+		lv, err := shard.BuildLive(base, shard.Options{
+			Shards:      1,
+			Partitioner: shard.Hash{},
+			Tree: tqtree.Options{
+				Variant: tqtree.TwoPoint, Ordering: tqtree.ZOrder,
+			},
+		}, shard.Policy{MaxDelta: maxDelta, MaxDeltaFraction: -1})
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(ctx.Cfg.Seed + 91))
+		liveIDs := make([]trajectory.ID, 0, users.Len())
+		for _, u := range base {
+			liveIDs = append(liveIDs, u.ID)
+		}
+		pending := feed
+		latencies := make([]float64, 0, churnQueries)
+		writeDebt := 0.0
+		for len(latencies) < churnQueries {
+			// Writes owed per query at this fraction: frac/(1-frac).
+			if frac > 0 {
+				writeDebt += frac / (1 - frac)
+			}
+			for ; writeDebt >= 1; writeDebt-- {
+				if rng.Float64() < 0.7 && len(pending) > 0 {
+					u := pending[0]
+					pending = pending[1:]
+					if err := lv.Insert(u); err != nil {
+						return nil, err
+					}
+					liveIDs = append(liveIDs, u.ID)
+				} else if len(liveIDs) > 0 {
+					i := rng.Intn(len(liveIDs))
+					if lv.Delete(liveIDs[i]) {
+						liveIDs[i] = liveIDs[len(liveIDs)-1]
+						liveIDs = liveIDs[:len(liveIDs)-1]
+					}
+				}
+			}
+			f := fs[rng.Intn(len(fs))]
+			start := time.Now()
+			if _, _, err := lv.ServiceValue(f, p); err != nil {
+				return nil, err
+			}
+			latencies = append(latencies, time.Since(start).Seconds())
+		}
+		if err := lv.Err(); err != nil {
+			return nil, fmt.Errorf("background rebuild: %w", err)
+		}
+		sort.Float64s(latencies)
+		// Let any in-flight background rebuild finish so the swap count
+		// reflects the row's full write volume (a rebuild at bench scale
+		// completes in well under a second; the count is informational).
+		swaps := float64(lv.Stats()[0].Compactions)
+		if frac > 0 {
+			time.Sleep(time.Second)
+			swaps = float64(lv.Stats()[0].Compactions)
+		}
+		t.XTicks = append(t.XTicks, fmt.Sprintf("%.2f", frac))
+		appendRow(t, quantile(latencies, 0.50), quantile(latencies, 0.99), swaps)
+	}
+	return t, nil
+}
+
+// quantile returns the q-quantile of sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -105,8 +105,13 @@ func diffKey(r Row) string {
 // rowDirection resolves a row's gate direction. Mixed-unit tables (the
 // shards and frozen experiments) label their throughput axis "/sec" but
 // mark individual seconds series with an "(s)" suffix on the method or
-// x-tick; those rows gate as timings.
+// x-tick; those rows gate as timings. An "(n)" suffix marks count
+// series inside a timing table (the churn experiment's swap counter):
+// informational, printed but never gated.
 func rowDirection(r Row) DiffDirection {
+	if strings.Contains(r.Method, "(n)") || strings.Contains(r.X, "(n)") {
+		return Informational
+	}
 	d := directionOf(r.YLabel)
 	if d == HigherIsBetter && (strings.Contains(r.Method, "(s)") || strings.Contains(r.X, "(s)")) {
 		return LowerIsBetter

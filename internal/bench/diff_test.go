@@ -75,6 +75,23 @@ func TestDiffDocsMixedUnitSeries(t *testing.T) {
 	}
 }
 
+func TestDiffDocsCountSeriesInformational(t *testing.T) {
+	// An "(n)" count series inside a seconds-labelled table (the churn
+	// experiment's swap counter) is printed but never gates, however
+	// much it moves.
+	swaps := func(y float64) Row {
+		return Row{Experiment: "churn", X: "0.50", Method: "swaps(n)",
+			YLabel: "seconds per query (swaps(n): completed background swaps)", Y: y}
+	}
+	rows, reg := DiffDocs(diffDoc(swaps(1)), diffDoc(swaps(9)), 0.25)
+	if reg != 0 {
+		t.Fatal("swaps(n) count change gated")
+	}
+	if len(rows) != 1 || rows[0].Direction != Informational {
+		t.Fatalf("swaps(n) direction = %+v, want Informational", rows)
+	}
+}
+
 func TestDiffDocsHandlesMissingRows(t *testing.T) {
 	old := diffDoc(timeRow("fig7a", "1", "TQ(Z)", 1.0), timeRow("gone", "1", "BL", 2.0))
 	niu := diffDoc(timeRow("fig7a", "1", "TQ(Z)", 1.0), timeRow("fresh", "1", "TQ(Z)", 9.0))

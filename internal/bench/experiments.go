@@ -58,6 +58,7 @@ func Registry() []Experiment {
 		{ID: "pbuild", Title: "extra — TQ(Z) construction time vs build parallelism (NYT, not in the paper)", Run: expParallelBuild},
 		{ID: "shards", Title: "extra — sharded scatter-gather build time and throughput vs shard count (NYT, not in the paper)", Run: expShards},
 		{ID: "frozen", Title: "extra — frozen columnar vs pointer TQ(Z) read path (NYT, not in the paper)", Run: expFrozen},
+		{ID: "churn", Title: "extra — query latency under live insert/delete churn with background epoch swaps (NYT, not in the paper)", Run: expChurn},
 	}
 	return append(reg, extra...)
 }

@@ -1,0 +1,270 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// frozenEngineOver builds, freezes, and wraps a corpus.
+func frozenEngineOver(t *testing.T, users *trajectory.Set, v tqtree.Variant, o tqtree.Ordering) *FrozenEngine {
+	t.Helper()
+	tree, err := tqtree.Build(users.All, tqtree.Options{
+		Variant: v, Ordering: o, Beta: 8, Bounds: testBounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := tqtree.Freeze(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFrozenEngine(fz, users)
+}
+
+// TestEpochEmptyDeltaByteIdentical is the delta-overlay regression
+// anchor: an epoch with an empty delta and no tombstones must be
+// byte-identical — answers AND metrics — to the plain frozen engine,
+// across every variant × ordering.
+func TestEpochEmptyDeltaByteIdentical(t *testing.T) {
+	users := makeUsers(500, 4, 501)
+	facilities := makeFacilities(24, 8, 502)
+	for _, cfg := range validConfigs(true) {
+		feng := frozenEngineOver(t, users, cfg.variant, cfg.ordering)
+		ep, err := NewEpoch(feng, nil, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Params{Scenario: cfg.scenario, Psi: 40}
+		name := cfg.variant.String() + "/" + cfg.ordering.String() + "/" + cfg.scenario.String()
+
+		for _, f := range facilities {
+			wantV, wantM, err := feng.ServiceValue(f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotV, gotM, err := ep.ServiceValue(f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotV != wantV || gotM != wantM {
+				t.Fatalf("%s: epoch ServiceValue(%d) = (%v, %+v), frozen = (%v, %+v)",
+					name, f.ID, gotV, gotM, wantV, wantM)
+			}
+		}
+
+		wantVs, wantM, err := feng.ServiceValues(facilities, p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotVs, gotM, err := ep.ServiceValues(facilities, p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotM != wantM {
+			t.Fatalf("%s: batch metrics = %+v, frozen = %+v", name, gotM, wantM)
+		}
+		for i := range wantVs {
+			if gotVs[i] != wantVs[i] {
+				t.Fatalf("%s: batch value[%d] = %v, frozen = %v", name, i, gotVs[i], wantVs[i])
+			}
+		}
+
+		// The exploration path: run each facility's exploration to
+		// completion on both engines and compare value and work.
+		for _, f := range facilities {
+			wx, err := feng.NewExplorer(f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gx, err := ep.NewExplorer(f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wm, gm Metrics
+			wv := wx.Run(&wm)
+			gv := gx.Run(&gm)
+			if gv != wv || gm != wm {
+				t.Fatalf("%s: epoch explorer(%d) = (%v, %+v), frozen = (%v, %+v)",
+					name, f.ID, gv, gm, wv, wm)
+			}
+		}
+	}
+}
+
+// epochOver splits a corpus into base/delta, tombstones a subset of the
+// base, and returns the epoch together with the logical corpus set.
+func epochOver(t *testing.T, users *trajectory.Set, v tqtree.Variant, o tqtree.Ordering, baseN, deadEvery int) (*Epoch, *trajectory.Set) {
+	t.Helper()
+	base := trajectory.MustNewSet(users.All[:baseN])
+	feng := frozenEngineOver(t, base, v, o)
+	delta := users.All[baseN:]
+	dead := map[trajectory.ID]struct{}{}
+	logical := make([]*trajectory.Trajectory, 0, users.Len())
+	for i, u := range base.All {
+		if deadEvery > 0 && i%deadEvery == 0 {
+			dead[u.ID] = struct{}{}
+			continue
+		}
+		logical = append(logical, u)
+	}
+	logical = append(logical, delta...)
+	ep, err := NewEpoch(feng, delta, dead, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ep, trajectory.MustNewSet(logical)
+}
+
+// TestEpochMatchesFreshBuild: delta-overlay + tombstone-masked answers
+// must equal a from-scratch build of the logical corpus — exactly for
+// Binary (integral), within float summation tolerance otherwise.
+func TestEpochMatchesFreshBuild(t *testing.T) {
+	users := makeUsers(600, 4, 503)
+	facilities := makeFacilities(24, 8, 504)
+	for _, cfg := range validConfigs(true) {
+		ep, logical := epochOver(t, users, cfg.variant, cfg.ordering, 450, 5)
+		tree, err := tqtree.Build(logical.All, tqtree.Options{
+			Variant: cfg.variant, Ordering: cfg.ordering, Beta: 8, Bounds: testBounds,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := NewEngine(tree, logical)
+		p := Params{Scenario: cfg.scenario, Psi: 40}
+		name := cfg.variant.String() + "/" + cfg.ordering.String() + "/" + cfg.scenario.String()
+
+		if got, want := ep.Len(), logical.Len(); got != want {
+			t.Fatalf("%s: epoch Len = %d, want %d", name, got, want)
+		}
+		for _, f := range facilities {
+			want, _, err := fresh.ServiceValue(f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := ep.ServiceValue(f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.scenario == service.Binary {
+				if got != want {
+					t.Fatalf("%s: epoch ServiceValue(%d) = %v, fresh build = %v", name, f.ID, got, want)
+				}
+			} else if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("%s: epoch ServiceValue(%d) = %v, fresh build = %v", name, f.ID, got, want)
+			}
+
+			// The exploration must converge to the same value (exactly
+			// for integral scenarios; best-first relaxations group float
+			// additions differently otherwise, as in the TopK-vs-
+			// exhaustive comparisons).
+			x, err := ep.NewExplorer(f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m Metrics
+			xv := x.Run(&m)
+			if cfg.scenario == service.Binary {
+				if xv != got {
+					t.Fatalf("%s: explorer(%d) = %v, ServiceValue = %v", name, f.ID, xv, got)
+				}
+			} else if math.Abs(xv-got) > 1e-6*(1+got) {
+				t.Fatalf("%s: explorer(%d) = %v, ServiceValue = %v", name, f.ID, xv, got)
+			}
+		}
+	}
+}
+
+// TestEpochExplorerInvariants checks the Exploration contract over a
+// churned epoch: Exact is non-decreasing, Optimistic non-increasing,
+// and UpperBound always bounds the final exact value.
+func TestEpochExplorerInvariants(t *testing.T) {
+	users := makeUsers(500, 2, 505)
+	facilities := makeFacilities(12, 8, 506)
+	ep, _ := epochOver(t, users, tqtree.TwoPoint, tqtree.ZOrder, 400, 7)
+	p := Params{Scenario: service.Binary, Psi: 40}
+	for _, f := range facilities {
+		x, err := ep.NewExplorer(f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Metrics
+		prevExact, prevOpt := x.Exact(), x.Optimistic()
+		for !x.Done() {
+			x.Relax(&m)
+			if x.Exact() < prevExact {
+				t.Fatalf("facility %d: Exact decreased %v -> %v", f.ID, prevExact, x.Exact())
+			}
+			if x.Optimistic() > prevOpt {
+				t.Fatalf("facility %d: Optimistic increased %v -> %v", f.ID, prevOpt, x.Optimistic())
+			}
+			prevExact, prevOpt = x.Exact(), x.Optimistic()
+		}
+		want, _, err := ep.ServiceValue(f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Exact() != want {
+			t.Fatalf("facility %d: explorer exact %v, ServiceValue %v", f.ID, x.Exact(), want)
+		}
+	}
+}
+
+func TestNewEpochValidation(t *testing.T) {
+	users := makeUsers(100, 2, 507)
+	base := trajectory.MustNewSet(users.All[:80])
+	feng := frozenEngineOver(t, base, tqtree.TwoPoint, tqtree.ZOrder)
+
+	// Tombstone naming no base trajectory.
+	if _, err := NewEpoch(feng, nil, map[trajectory.ID]struct{}{999: {}}, 0); err == nil {
+		t.Error("tombstone for unknown id accepted")
+	}
+	// Duplicate id inside the delta.
+	dup := []*trajectory.Trajectory{users.All[80], users.All[80]}
+	if _, err := NewEpoch(feng, dup, nil, 0); err == nil {
+		t.Error("duplicate delta id accepted")
+	}
+	// Delta id colliding with a live base trajectory.
+	if _, err := NewEpoch(feng, users.All[:1], nil, 0); err == nil {
+		t.Error("delta collision with live base id accepted")
+	}
+	// ... but re-using a tombstoned base id is the re-insert path.
+	dead := map[trajectory.ID]struct{}{users.All[0].ID: {}}
+	if _, err := NewEpoch(feng, users.All[:1], dead, 0); err != nil {
+		t.Errorf("re-insert over tombstone rejected: %v", err)
+	}
+}
+
+// TestEpochScenarioValidation: a TwoPoint epoch whose delta introduces
+// the first multipoint trajectory must reject non-Binary scenarios,
+// exactly as a from-scratch TwoPoint build over that corpus would.
+func TestEpochScenarioValidation(t *testing.T) {
+	users := makeUsers(100, 2, 508) // two-point only
+	base := trajectory.MustNewSet(users.All[:90])
+	feng := frozenEngineOver(t, base, tqtree.TwoPoint, tqtree.ZOrder)
+	multi := makeUsers(120, 5, 509).All[100:] // ids 100.. with up to 5 points
+	var mp *trajectory.Trajectory
+	for _, u := range multi {
+		if u.Len() > 2 {
+			mp = u
+			break
+		}
+	}
+	if mp == nil {
+		t.Fatal("no multipoint trajectory generated")
+	}
+	ep, err := NewEpoch(feng, []*trajectory.Trajectory{mp}, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := makeFacilities(1, 6, 510)[0]
+	if _, _, err := ep.ServiceValue(f, Params{Scenario: service.PointCount, Psi: 40}); err == nil {
+		t.Error("TwoPoint epoch with multipoint delta accepted PointCount")
+	}
+	if _, _, err := ep.ServiceValue(f, Params{Scenario: service.Binary, Psi: 40}); err != nil {
+		t.Errorf("Binary rejected: %v", err)
+	}
+}

@@ -2,7 +2,6 @@ package shard
 
 import (
 	"fmt"
-	"runtime"
 
 	"github.com/trajcover/trajcover/internal/geo"
 	"github.com/trajcover/trajcover/internal/query"
@@ -180,12 +179,7 @@ func (f *Frozen) TopK(facilities []*trajectory.Facility, k int, p Params) ([]que
 // TopKParallel is TopK with up to `workers` facility relaxations run
 // concurrently per round; the answer is identical to TopK.
 func (f *Frozen) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(facilities) {
-		workers = len(facilities)
-	}
+	workers = resolveTopKWorkers(workers, len(facilities))
 	if workers <= 1 {
 		return f.TopK(facilities, k, p)
 	}

@@ -1,0 +1,662 @@
+package shard
+
+// Live serving: each shard holds an atomic pointer to an immutable
+// query.Epoch — {frozen base, delta overlay, tombstones}. A query takes
+// a read-lock only to capture the epoch set (a write-consistent cut,
+// microseconds) and answers over the immutable values without any lock,
+// while writes land in the delta under the writer lock and publish a
+// successor epoch.
+// When a shard's pending churn (delta + tombstones) crosses the policy
+// thresholds, a background rebuild folds it into a fresh pointer tree,
+// freezes it, and swaps the shard's epoch — readers never wait on a
+// rebuild, and the writer is blocked only for the capture and the swap,
+// never for the build itself.
+//
+// Epoch lifecycle per shard (generation g):
+//
+//	serve(g)   — readers answer over epoch g; writer publishes
+//	             g+1, g+2, ... as inserts/deletes land in the delta.
+//	capture    — a rebuild starts: it pins the current epoch e0 and
+//	             marks e0's delta as "baking"; writes keep flowing.
+//	build      — off-lock: build + freeze a tree over e0's logical
+//	             corpus (base − tombstones + delta).
+//	swap       — under the writer lock: the epoch becomes {new base,
+//	             delta written since capture, tombstones added since
+//	             capture}, and the generation advances. In-flight
+//	             queries keep their captured epoch; the next query
+//	             sees the compacted one.
+//
+// Deletes that arrive while their target is baking are recorded as
+// pending tombstones so they mask the new base after the swap — the one
+// subtlety that makes writes-during-rebuild linearizable.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/trajcover/trajcover/internal/geo"
+	"github.com/trajcover/trajcover/internal/query"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// ErrImmutable marks an index that cannot accept writes: it was restored
+// from a snapshot recorded with a partitioner this build does not know,
+// so new trajectories cannot be routed consistently with the recorded
+// partition. Queries (and Delete, which routes by ID lookup) still work.
+var ErrImmutable = errors.New("shard: immutable index (unknown partitioner)")
+
+// Policy tunes when a live shard folds its delta into a fresh base.
+type Policy struct {
+	// MaxDelta triggers a background rebuild when a shard's pending
+	// churn (delta + tombstones) reaches this count. 0 means 4096.
+	MaxDelta int
+	// MaxDeltaFraction triggers when pending churn reaches this fraction
+	// of the shard's base corpus (subject to a small floor so tiny bases
+	// don't thrash). 0 means 0.25; negative disables the fraction
+	// trigger.
+	MaxDeltaFraction float64
+	// RebuildParallelism bounds the goroutines a background rebuild's
+	// tree build may use. 0 means 1 — serial, leaving the cores to the
+	// serving path.
+	RebuildParallelism int
+	// Manual disables automatic rebuilds; only Compact folds the delta.
+	Manual bool
+}
+
+// fractionFloor keeps the fraction trigger from firing on every write
+// over a small base.
+const fractionFloor = 64
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxDelta <= 0 {
+		p.MaxDelta = 4096
+	}
+	if p.MaxDeltaFraction == 0 {
+		p.MaxDeltaFraction = 0.25
+	}
+	if p.RebuildParallelism <= 0 {
+		p.RebuildParallelism = 1
+	}
+	return p
+}
+
+// liveShard is one shard of a Live index. The epoch pointer is the only
+// reader-visible state; everything else belongs to the writer (guarded
+// by Live.wmu) or to the rebuild machinery.
+type liveShard struct {
+	epoch atomic.Pointer[query.Epoch]
+
+	// Writer state (Live.wmu). delta/dead always mirror the published
+	// epoch's overlay; maps handed to an epoch are never mutated again
+	// (copy-on-write), and delta is append-only between rewrites.
+	delta     []*trajectory.Trajectory
+	deltaByID map[trajectory.ID]*trajectory.Trajectory
+	dead      map[trajectory.ID]struct{}
+	gen       uint64
+
+	// Rebuild bookkeeping (Live.wmu): set while a rebuild is between
+	// capture and swap. baking is the pointer set of the delta being
+	// folded; pendingDead records deletes of baking items; dead0 is the
+	// tombstone set captured at rebuild start.
+	baking      map[*trajectory.Trajectory]struct{}
+	pendingDead map[trajectory.ID]struct{}
+	dead0       map[trajectory.ID]struct{}
+
+	// rebuildMu serializes rebuilds of this shard (background vs
+	// Compact); rebuildQueued dedups background triggers.
+	rebuildMu     sync.Mutex
+	rebuildQueued atomic.Bool
+	compactions   atomic.Uint64
+}
+
+// Live is a set of epoch-serving shards jointly indexing one mutating
+// trajectory corpus. All query methods are safe concurrently with
+// Insert/Delete/Compact and with each other; Insert/Delete serialize on
+// an internal writer lock.
+type Live struct {
+	bounds   geo.Rect
+	part     Partitioner
+	treeOpts tqtree.Options
+	policy   Policy
+
+	// wmu guards the writer state (delta/tombstone maps, epoch
+	// publishes). Queries take the read side only to CAPTURE the epoch
+	// set — never while executing — so a capture is a write-consistent
+	// cut: every shard's epoch reflects the same prefix of the global
+	// write history. Per-shard pointer loads alone would not give that,
+	// and a torn capture can hold an ID alive in two shards at once
+	// (delete in shard A, re-insert routed to shard B by a geometric
+	// partitioner), double-counting queries and producing snapshots
+	// that fail the cross-shard uniqueness check on restore.
+	wmu    sync.RWMutex
+	shards []*liveShard
+
+	// lastErr records the most recent background-rebuild failure (wmu);
+	// surfaced via Err. Rebuild inputs are validated epochs, so this
+	// stays nil outside of resource exhaustion.
+	lastErr error
+}
+
+// BuildLive partitions users and builds one frozen-epoch shard per
+// partition — Build followed by Sharded.Live.
+func BuildLive(users []*trajectory.Trajectory, opts Options, pol Policy) (*Live, error) {
+	s, err := Build(users, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Live(pol)
+}
+
+// Live freezes every shard and wraps the result in the epoch-serving
+// form. The source index is only read and remains usable.
+func (s *Sharded) Live(pol Policy) (*Live, error) {
+	f, err := s.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return liveFromEngines(f.engines, s.opts.Partitioner, pol)
+}
+
+// Live wraps the frozen shards in the epoch-serving form with empty
+// deltas — the restore path for frozen snapshots. A Frozen restored from
+// an unknown partitioner kind yields a Live that serves queries and
+// accepts Deletes but returns ErrImmutable from Insert.
+func (f *Frozen) Live(pol Policy) (*Live, error) {
+	part, _ := PartitionerOf(f.kind)
+	return liveFromEngines(f.engines, part, pol)
+}
+
+// treeOptsOf reconstructs the build options a rebuild must reuse from a
+// frozen index's recorded configuration — the single place this rule
+// lives, shared by every construction and restore path.
+func treeOptsOf(fz *tqtree.Frozen) tqtree.Options {
+	return tqtree.Options{
+		Variant:  fz.Variant(),
+		Ordering: fz.Ordering(),
+		Beta:     fz.Beta(),
+		MaxDepth: fz.MaxDepth(),
+		Bounds:   fz.Bounds(),
+	}
+}
+
+func liveFromEngines(engines []*query.FrozenEngine, part Partitioner, pol Policy) (*Live, error) {
+	epochs := make([]*query.Epoch, len(engines))
+	for i, e := range engines {
+		ep, err := query.NewEpoch(e, nil, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		epochs[i] = ep
+	}
+	return LiveFromEpochs(epochs, part, pol)
+}
+
+// LiveFromEpochs assembles a Live from per-shard epochs — the snapshot
+// restore path (the epochs may carry non-empty deltas and tombstones).
+// IDs must be unique across every shard's logical corpus; the shared
+// root space and rebuild options come from the first shard's base
+// (every shard is built with one configuration over one root space).
+func LiveFromEpochs(epochs []*query.Epoch, part Partitioner, pol Policy) (*Live, error) {
+	if len(epochs) == 0 {
+		return nil, fmt.Errorf("shard: no live shards")
+	}
+	bounds := epochs[0].Base().Frozen().Bounds()
+	treeOpts := treeOptsOf(epochs[0].Base().Frozen())
+	seen := make(map[trajectory.ID]struct{})
+	for i, ep := range epochs {
+		for _, u := range ep.LogicalCorpus() {
+			if _, dup := seen[u.ID]; dup {
+				return nil, fmt.Errorf("shard: duplicate id %d across live shards (shard %d)", u.ID, i)
+			}
+			seen[u.ID] = struct{}{}
+		}
+	}
+	treeOpts.Parallelism = 0 // rebuild parallelism comes from the policy
+	l := &Live{
+		bounds:   bounds,
+		part:     part,
+		treeOpts: treeOpts,
+		policy:   pol.withDefaults(),
+		shards:   make([]*liveShard, len(epochs)),
+	}
+	for i, ep := range epochs {
+		sh := &liveShard{
+			delta:     ep.Delta(),
+			deltaByID: make(map[trajectory.ID]*trajectory.Trajectory, ep.DeltaLen()),
+			dead:      ep.Tombstones(),
+			gen:       ep.Generation(),
+		}
+		for _, u := range ep.Delta() {
+			sh.deltaByID[u.ID] = u
+		}
+		if sh.dead == nil {
+			sh.dead = map[trajectory.ID]struct{}{}
+		}
+		sh.epoch.Store(ep)
+		l.shards[i] = sh
+	}
+	return l, nil
+}
+
+// NumShards returns the shard count.
+func (l *Live) NumShards() int { return len(l.shards) }
+
+// Bounds returns the shared root space.
+func (l *Live) Bounds() geo.Rect { return l.bounds }
+
+// PartitionerKind returns the configured partitioner's kind, or "" when
+// none survives (restored from an unknown custom kind).
+func (l *Live) PartitionerKind() string {
+	if l.part == nil {
+		return ""
+	}
+	return l.part.Kind()
+}
+
+// Epochs returns each shard's current epoch as one write-consistent
+// cut: the read lock excludes writers for the duration of the pointer
+// loads (microseconds), so the capture reflects a single prefix of the
+// write history across every shard. The returned epochs are immutable;
+// callers (queries, snapshot writers) work from them without further
+// coordination — no lock is held while they execute.
+func (l *Live) Epochs() []*query.Epoch {
+	l.wmu.RLock()
+	out := make([]*query.Epoch, len(l.shards))
+	for i, sh := range l.shards {
+		out[i] = sh.epoch.Load()
+	}
+	l.wmu.RUnlock()
+	return out
+}
+
+// Len returns the total logical corpus size.
+func (l *Live) Len() int {
+	n := 0
+	for _, ep := range l.Epochs() {
+		n += ep.Len()
+	}
+	return n
+}
+
+// Sizes returns each shard's logical corpus size.
+func (l *Live) Sizes() []int {
+	eps := l.Epochs()
+	out := make([]int, len(eps))
+	for i, ep := range eps {
+		out[i] = ep.Len()
+	}
+	return out
+}
+
+// ByID returns the logical-corpus trajectory with the given id, or nil.
+func (l *Live) ByID(id trajectory.ID) *trajectory.Trajectory {
+	for _, ep := range l.Epochs() {
+		if u := ep.ByID(id); u != nil {
+			return u
+		}
+	}
+	return nil
+}
+
+// Err returns the most recent background-rebuild error, or nil.
+func (l *Live) Err() error {
+	l.wmu.RLock()
+	defer l.wmu.RUnlock()
+	return l.lastErr
+}
+
+// ShardStats is one shard's live-serving state.
+type ShardStats struct {
+	// Len is the shard's logical corpus size.
+	Len int
+	// DeltaLen and Tombstones are the pending churn a rebuild will fold.
+	DeltaLen   int
+	Tombstones int
+	// Generation counts epoch publishes (writes and swaps).
+	Generation uint64
+	// Compactions counts completed rebuild-and-swap cycles.
+	Compactions uint64
+}
+
+// Stats returns per-shard serving statistics over one consistent
+// epoch capture.
+func (l *Live) Stats() []ShardStats {
+	eps := l.Epochs()
+	out := make([]ShardStats, len(l.shards))
+	for i, sh := range l.shards {
+		ep := eps[i]
+		out[i] = ShardStats{
+			Len:         ep.Len(),
+			DeltaLen:    ep.DeltaLen(),
+			Tombstones:  ep.TombstoneCount(),
+			Generation:  ep.Generation(),
+			Compactions: sh.compactions.Load(),
+		}
+	}
+	return out
+}
+
+// has reports whether the shard's logical corpus contains id, from the
+// writer's state. Caller holds wmu.
+func (sh *liveShard) has(id trajectory.ID) bool {
+	if _, ok := sh.deltaByID[id]; ok {
+		return true
+	}
+	if _, gone := sh.dead[id]; gone {
+		return false
+	}
+	return sh.epoch.Load().Base().Users().ByID(id) != nil
+}
+
+// Insert adds a trajectory to its shard's delta overlay and publishes
+// the successor epoch (O(1) — see Epoch.WithInsert). Safe concurrently
+// with queries and other writes; duplicate IDs (anywhere in the logical
+// corpus) are rejected.
+func (l *Live) Insert(u *trajectory.Trajectory) error {
+	if l.part == nil {
+		return fmt.Errorf("%w: cannot route insert", ErrImmutable)
+	}
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	for _, sh := range l.shards {
+		if sh.has(u.ID) {
+			return fmt.Errorf("shard: duplicate id %d", u.ID)
+		}
+	}
+	i := clampShard(l.part.Assign(u, l.bounds, len(l.shards)), len(l.shards))
+	sh := l.shards[i]
+	sh.gen++
+	ep := sh.epoch.Load().WithInsert(u, sh.gen)
+	sh.delta = ep.Delta()
+	sh.deltaByID[u.ID] = u
+	sh.epoch.Store(ep)
+	l.maybeCompact(sh)
+	return nil
+}
+
+// Delete removes the trajectory with the given id from the logical
+// corpus, reporting whether it was present. A delta trajectory is
+// dropped from the overlay; a base trajectory is tombstoned until the
+// next rebuild folds it away. Safe concurrently with queries.
+func (l *Live) Delete(id trajectory.ID) bool {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	for _, sh := range l.shards {
+		if u, ok := sh.deltaByID[id]; ok {
+			newDelta := make([]*trajectory.Trajectory, 0, len(sh.delta)-1)
+			for _, d := range sh.delta {
+				if d != u {
+					newDelta = append(newDelta, d)
+				}
+			}
+			sh.gen++
+			ep := sh.epoch.Load().WithDelta(newDelta, sh.gen)
+			sh.delta = newDelta
+			delete(sh.deltaByID, id)
+			if sh.baking != nil {
+				if _, baked := sh.baking[u]; baked {
+					// u is being folded into the next base: mask it there.
+					sh.pendingDead[id] = struct{}{}
+				}
+			}
+			sh.epoch.Store(ep)
+			l.maybeCompact(sh)
+			return true
+		}
+		if _, gone := sh.dead[id]; gone {
+			continue
+		}
+		if sh.epoch.Load().Base().Users().ByID(id) == nil {
+			continue
+		}
+		newDead := make(map[trajectory.ID]struct{}, len(sh.dead)+1)
+		for d := range sh.dead {
+			newDead[d] = struct{}{}
+		}
+		newDead[id] = struct{}{}
+		sh.gen++
+		ep := sh.epoch.Load().WithTombstones(newDead, sh.gen)
+		sh.dead = newDead
+		sh.epoch.Store(ep)
+		l.maybeCompact(sh)
+		return true
+	}
+	return false
+}
+
+// maybeCompact spawns a background rebuild of a shard when the policy
+// thresholds are crossed. It needs no lock — the policy is immutable,
+// the epoch load is atomic, and the CAS dedups concurrent triggers —
+// so a finished rebuild re-runs it on itself: a burst of writes that
+// lands while a rebuild is in flight still gets folded once the writer
+// goes idle (the follow-up trigger fires from the completed rebuild,
+// not from a future write that may never come).
+func (l *Live) maybeCompact(sh *liveShard) {
+	if l.policy.Manual {
+		return
+	}
+	ep := sh.epoch.Load()
+	pending := ep.DeltaLen() + ep.TombstoneCount()
+	if pending == 0 {
+		return
+	}
+	trigger := pending >= l.policy.MaxDelta
+	if !trigger && l.policy.MaxDeltaFraction > 0 && pending >= fractionFloor {
+		if base := ep.Base().Users().Len(); float64(pending) >= l.policy.MaxDeltaFraction*float64(base) {
+			trigger = true
+		}
+	}
+	if !trigger {
+		return
+	}
+	if !sh.rebuildQueued.CompareAndSwap(false, true) {
+		return // a rebuild is already queued or running
+	}
+	go func() {
+		err := l.rebuildShard(sh)
+		sh.rebuildQueued.Store(false)
+		if err != nil {
+			l.wmu.Lock()
+			l.lastErr = err
+			l.wmu.Unlock()
+			return
+		}
+		// Writes that landed during the rebuild may already exceed the
+		// thresholds again; re-evaluate now rather than waiting for the
+		// next write.
+		l.maybeCompact(sh)
+	}()
+}
+
+// Compact synchronously folds every shard's pending churn into fresh
+// frozen bases. It is safe concurrently with queries and writes; if a
+// background rebuild is in flight on a shard, Compact waits for it and
+// then folds whatever churn remains.
+func (l *Live) Compact() error {
+	for _, sh := range l.shards {
+		if err := l.rebuildShard(sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildShard rebuilds one shard: capture the epoch, build + freeze its
+// logical corpus off-lock, then swap the shard onto the new base and
+// carry forward the writes that landed during the build.
+func (l *Live) rebuildShard(sh *liveShard) error {
+	sh.rebuildMu.Lock()
+	defer sh.rebuildMu.Unlock()
+
+	// Capture: pin the epoch to fold and mark its delta as baking so
+	// concurrent deletes of those trajectories turn into tombstones on
+	// the new base.
+	l.wmu.Lock()
+	e0 := sh.epoch.Load()
+	if e0.DeltaLen() == 0 && e0.TombstoneCount() == 0 {
+		l.wmu.Unlock()
+		return nil
+	}
+	sh.baking = make(map[*trajectory.Trajectory]struct{}, e0.DeltaLen())
+	for _, u := range e0.Delta() {
+		sh.baking[u] = struct{}{}
+	}
+	sh.pendingDead = map[trajectory.ID]struct{}{}
+	sh.dead0 = e0.Tombstones()
+	l.wmu.Unlock()
+
+	clearCapture := func() {
+		sh.baking, sh.pendingDead, sh.dead0 = nil, nil, nil
+	}
+
+	// Build off-lock: readers and writers proceed against the current
+	// epochs while the fold runs.
+	corpus := e0.LogicalCorpus()
+	opts := l.treeOpts
+	opts.Parallelism = l.policy.RebuildParallelism
+	set, err := trajectory.NewSet(corpus)
+	if err == nil {
+		var tree *tqtree.Tree
+		if tree, err = tqtree.Build(corpus, opts); err == nil {
+			var fz *tqtree.Frozen
+			if fz, err = tqtree.Freeze(tree); err == nil {
+				// Swap: fold the writes that landed during the build onto
+				// the new base and publish.
+				base1 := query.NewFrozenEngine(fz, set)
+				l.wmu.Lock()
+				newDelta := make([]*trajectory.Trajectory, 0, len(sh.delta))
+				for _, u := range sh.delta {
+					if _, baked := sh.baking[u]; !baked {
+						newDelta = append(newDelta, u)
+					}
+				}
+				newDead := make(map[trajectory.ID]struct{}, len(sh.pendingDead))
+				for id := range sh.dead {
+					if _, old := sh.dead0[id]; !old {
+						newDead[id] = struct{}{}
+					}
+				}
+				for id := range sh.pendingDead {
+					newDead[id] = struct{}{}
+				}
+				var ep *query.Epoch
+				if ep, err = query.NewEpoch(base1, newDelta, newDead, sh.gen+1); err == nil {
+					sh.gen++
+					sh.delta = newDelta
+					sh.deltaByID = make(map[trajectory.ID]*trajectory.Trajectory, len(newDelta))
+					for _, u := range newDelta {
+						sh.deltaByID[u.ID] = u
+					}
+					sh.dead = newDead
+					sh.epoch.Store(ep)
+					sh.compactions.Add(1)
+				}
+				clearCapture()
+				l.wmu.Unlock()
+				return err
+			}
+		}
+	}
+	l.wmu.Lock()
+	clearCapture()
+	l.wmu.Unlock()
+	return err
+}
+
+// validate checks the query parameters against every shard's epoch.
+func validateEpochs(eps []*query.Epoch, p query.Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for _, ep := range eps {
+		if err := ep.ValidateScenario(p.Scenario); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// epochSeeder seeds scatter-gather explorations over a captured epoch
+// set — the explorerSeeder the shared merge in topk.go consumes.
+type epochSeeder []*query.Epoch
+
+func (s epochSeeder) numShards() int { return len(s) }
+
+func (s epochSeeder) newExploration(i int, f *trajectory.Facility, p Params) (query.Exploration, error) {
+	return s[i].NewExplorer(f, p)
+}
+
+// ServiceValue computes SO(U, f) as the sum of per-shard epoch service
+// values, accumulated in shard order so the answer is deterministic.
+func (l *Live) ServiceValue(fac *trajectory.Facility, p Params) (float64, query.Metrics, error) {
+	eps := l.Epochs()
+	var m query.Metrics
+	var so float64
+	for _, ep := range eps {
+		v, sm, err := ep.ServiceValue(fac, p)
+		if err != nil {
+			return 0, m, err
+		}
+		so += v
+		m.Add(sm)
+	}
+	return so, m, nil
+}
+
+// ServiceValues computes the exact service value of every facility by
+// scattering the batch to every shard's epoch and summing per-shard
+// answers in shard order; the output is indexed like facilities.
+func (l *Live) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, query.Metrics, error) {
+	eps := l.Epochs()
+	var m query.Metrics
+	out := make([]float64, len(facilities))
+	for _, ep := range eps {
+		vs, sm, err := ep.ServiceValues(facilities, p, workers)
+		if err != nil {
+			return nil, m, err
+		}
+		for i, v := range vs {
+			out[i] += v
+		}
+		m.Add(sm)
+	}
+	return out, m, nil
+}
+
+// TopK answers kMaxRRST over the live shards by scatter-gather, best
+// first — the same merge as Sharded/Frozen over a captured epoch set,
+// so a query is unaffected by swaps that land while it runs.
+func (l *Live) TopK(facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
+	eps := l.Epochs()
+	var m query.Metrics
+	if err := validateEpochs(eps, p); err != nil {
+		return nil, m, err
+	}
+	h, k, err := seedHeap(epochSeeder(eps), facilities, k, p)
+	if err != nil || k == 0 {
+		return nil, m, err
+	}
+	return mergeTopK(h, k, &m), m, nil
+}
+
+// TopKParallel is TopK with up to `workers` facility relaxations run
+// concurrently per round; the answer is identical to TopK.
+func (l *Live) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
+	workers = resolveTopKWorkers(workers, len(facilities))
+	if workers <= 1 {
+		return l.TopK(facilities, k, p)
+	}
+	eps := l.Epochs()
+	var m query.Metrics
+	if err := validateEpochs(eps, p); err != nil {
+		return nil, m, err
+	}
+	h, k, err := seedHeap(epochSeeder(eps), facilities, k, p)
+	if err != nil || k == 0 {
+		return nil, m, err
+	}
+	return mergeTopKParallel(h, k, workers, &m), m, nil
+}

@@ -245,11 +245,13 @@ func (s *Sharded) ByID(id trajectory.ID) *trajectory.Trajectory {
 // Insert routes a trajectory to its shard and inserts it there. Like the
 // single-tree Insert it is not safe concurrently with queries — but only
 // the target shard is touched, so serving systems can quiesce one shard
-// at a time. Restored snapshots of unknown partitioner kinds reject
-// Inserts: the recorded partition could not be extended consistently.
+// at a time. Restored snapshots of unknown partitioner kinds return
+// ErrImmutable: the recorded partition could not be extended
+// consistently — convert such an index with Live to delete (and, with a
+// known partitioner, insert) again.
 func (s *Sharded) Insert(u *trajectory.Trajectory) error {
 	if s.opts.Partitioner == nil {
-		return fmt.Errorf("shard: index restored with unknown partitioner; cannot insert")
+		return fmt.Errorf("%w: cannot route insert", ErrImmutable)
 	}
 	if s.ByID(u.ID) != nil {
 		return fmt.Errorf("shard: duplicate id %d", u.ID)

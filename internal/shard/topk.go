@@ -209,6 +209,19 @@ func mergeTopKParallel(h *facHeap, k, workers int, m *query.Metrics) []query.Res
 	return results
 }
 
+// resolveTopKWorkers maps a workers argument to an effective batch
+// width: non-positive means GOMAXPROCS, and a round never relaxes more
+// states than there are facilities.
+func resolveTopKWorkers(workers, facilities int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > facilities {
+		workers = facilities
+	}
+	return workers
+}
+
 // numShards implements explorerSeeder.
 func (s *Sharded) numShards() int { return len(s.shards) }
 
@@ -237,12 +250,7 @@ func (s *Sharded) TopK(facilities []*trajectory.Facility, k int, p Params) ([]qu
 // concurrently per round; the answer is identical to TopK. workers <= 1
 // falls back to the serial TopK.
 func (s *Sharded) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(facilities) {
-		workers = len(facilities)
-	}
+	workers = resolveTopKWorkers(workers, len(facilities))
 	if workers <= 1 {
 		return s.TopK(facilities, k, p)
 	}

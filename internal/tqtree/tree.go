@@ -431,6 +431,14 @@ func validateScenario(v Variant, hasMultipoint bool, sc service.Scenario) error 
 	return nil
 }
 
+// ValidateScenarioFor is validateScenario exported for layers that
+// assemble a logical corpus from several representations — the live
+// epoch in internal/query validates its delta overlay (which has no tree
+// of its own) with exactly the rule both tree layouts apply.
+func ValidateScenarioFor(v Variant, hasMultipoint bool, sc service.Scenario) error {
+	return validateScenario(v, hasMultipoint, sc)
+}
+
 // filterModeFor returns the zReduce candidate predicate that is sound for
 // the given variant under the given scenario.
 func filterModeFor(v Variant, sc service.Scenario) FilterMode {

@@ -1,0 +1,306 @@
+package trajcover
+
+// The live serving path. A LiveIndex (or LiveShardedIndex) serves every
+// query from an immutable, atomically-swappable epoch — a frozen
+// columnar base index plus a small delta overlay and tombstone set —
+// while Insert/Delete land in the overlay and a background rebuild
+// periodically folds the overlay into a fresh frozen base and swaps it
+// in per shard. The result is the guarantee the mutable Index cannot
+// give: Insert and Delete are safe concurrently with every query
+// method, queries synchronize with writers only for the epoch-set
+// capture (never during execution, never with a rebuild), and read
+// performance does not decay with churn (the overlay is bounded by the
+// compaction policy; the base never degrades the way repeated
+// Tree.Insert does).
+//
+// Use the mutable Index for build-then-query workloads and coverage
+// solvers (MaxCoverage), the FrozenIndex for static read-only serving,
+// and the live types whenever writes and reads overlap.
+
+import (
+	"errors"
+
+	"github.com/trajcover/trajcover/internal/query"
+	"github.com/trajcover/trajcover/internal/shard"
+)
+
+// ErrImmutable marks an index that cannot accept the attempted write:
+// it was restored from a snapshot recorded with a partitioner this
+// build does not know, so inserts cannot be routed consistently with
+// the recorded partition. Test with errors.Is.
+var ErrImmutable = shard.ErrImmutable
+
+// IsImmutable reports whether err means the index rejects writes
+// because no usable partitioner survived restore.
+func IsImmutable(err error) bool { return errors.Is(err, ErrImmutable) }
+
+// LivePolicy tunes when a live index folds a shard's pending churn
+// (delta overlay + tombstones) into a fresh frozen base. The zero value
+// rebuilds a shard in the background once 4096 writes are pending or
+// the pending churn reaches 25% of the shard's base corpus.
+type LivePolicy struct {
+	// MaxDelta triggers a background rebuild at this many pending
+	// writes per shard (0 means 4096).
+	MaxDelta int
+	// MaxDeltaFraction triggers when pending churn reaches this
+	// fraction of the shard's base corpus (0 means 0.25; negative
+	// disables the fraction trigger).
+	MaxDeltaFraction float64
+	// RebuildParallelism bounds the goroutines a background rebuild may
+	// use (0 means 1, leaving the cores to the serving path).
+	RebuildParallelism int
+	// Manual disables automatic rebuilds; only Compact folds churn.
+	Manual bool
+}
+
+func (p LivePolicy) policy() shard.Policy {
+	return shard.Policy{
+		MaxDelta:           p.MaxDelta,
+		MaxDeltaFraction:   p.MaxDeltaFraction,
+		RebuildParallelism: p.RebuildParallelism,
+		Manual:             p.Manual,
+	}
+}
+
+// LiveShardStats is one shard's live-serving state.
+type LiveShardStats = shard.ShardStats
+
+// LiveIndex is a single-shard live index: queries always run against an
+// immutable epoch while Insert/Delete are accepted concurrently and a
+// background rebuild keeps the epoch compact. Answers equal a
+// from-scratch Index over the same logical corpus (exactly for integral
+// scenarios such as Binary; up to float summation order otherwise).
+type LiveIndex struct {
+	s *shard.Live
+}
+
+// LiveIndexOptions configures NewLiveIndex.
+type LiveIndexOptions struct {
+	// Index configures the base tree (and every rebuild).
+	Index IndexOptions
+	// Policy tunes background compaction.
+	Policy LivePolicy
+}
+
+// NewLiveIndex builds a live single-shard index over the given users.
+func NewLiveIndex(users []*Trajectory, opts LiveIndexOptions) (*LiveIndex, error) {
+	sopts := ShardOptions{Shards: 1, Partitioner: HashPartitioner(), Index: opts.Index}
+	s, err := shard.BuildLive(users, sopts.shardOptions(), opts.Policy.policy())
+	if err != nil {
+		return nil, err
+	}
+	return &LiveIndex{s: s}, nil
+}
+
+// Live converts a built Index into its live serving form: the tree is
+// frozen into the first epoch's base and the index accepts concurrent
+// writes from then on. The source index is only read and remains usable.
+func (x *Index) Live(pol LivePolicy) (*LiveIndex, error) {
+	f, err := x.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return f.Live(pol)
+}
+
+// Live converts a frozen index into its live serving form — the restore
+// path that makes a read-only snapshot mutable again: the frozen
+// columns become the first epoch's base with an empty overlay.
+func (x *FrozenIndex) Live(pol LivePolicy) (*LiveIndex, error) {
+	s, err := x.liveCore(pol)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveIndex{s: s}, nil
+}
+
+func (x *FrozenIndex) liveCore(pol LivePolicy) (*shard.Live, error) {
+	sf, err := shard.FrozenFromEngines([]*query.FrozenEngine{x.engine}, x.engine.Frozen().Bounds(), shard.Hash{}.Kind())
+	if err != nil {
+		return nil, err
+	}
+	return sf.Live(pol.policy())
+}
+
+// Len returns the logical corpus size (base minus deletes plus the
+// delta overlay).
+func (x *LiveIndex) Len() int { return x.s.Len() }
+
+// Insert adds a user trajectory. Safe concurrently with every query
+// method and with other writes; duplicate IDs are rejected.
+func (x *LiveIndex) Insert(u *Trajectory) error { return x.s.Insert(u) }
+
+// Delete removes the trajectory with the given id, reporting whether it
+// was present. Safe concurrently with every query method.
+func (x *LiveIndex) Delete(id ID) bool { return x.s.Delete(id) }
+
+// Compact synchronously folds all pending writes into a fresh frozen
+// base. Queries and writes proceed during the fold; only the final
+// pointer swap synchronizes with writers.
+func (x *LiveIndex) Compact() error { return x.s.Compact() }
+
+// Stats returns the serving state (pending churn, epoch generation,
+// completed compactions).
+func (x *LiveIndex) Stats() LiveShardStats { return x.s.Stats()[0] }
+
+// Err returns the most recent background-rebuild error, or nil.
+func (x *LiveIndex) Err() error { return x.s.Err() }
+
+// ServiceValue computes SO(U, f) over the current epoch (Algorithm 1
+// over the frozen base, masked by tombstones, plus the delta overlay).
+func (x *LiveIndex) ServiceValue(f *Facility, q Query) (float64, error) {
+	v, _, err := x.s.ServiceValue(f, q.params())
+	return v, err
+}
+
+// ServiceValues computes the exact service value of every facility in
+// one batch across a pool of `workers` goroutines (<= 0 uses
+// GOMAXPROCS). The whole batch answers over one epoch.
+func (x *LiveIndex) ServiceValues(facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.s.ServiceValues(facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopK answers the kMaxRRST query best first over the current epoch.
+func (x *LiveIndex) TopK(facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.s.TopK(facilities, k, q.params())
+	return res, err
+}
+
+// TopKWithMetrics is TopK returning work metrics for diagnostics.
+func (x *LiveIndex) TopKWithMetrics(facilities []*Facility, k int, q Query) ([]Ranked, QueryMetrics, error) {
+	return x.s.TopK(facilities, k, q.params())
+}
+
+// TopKParallel is TopK with up to `workers` facility relaxations run
+// concurrently per round; the answer is identical to TopK.
+func (x *LiveIndex) TopKParallel(facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.s.TopKParallel(facilities, k, q.params(), workers)
+	return res, err
+}
+
+// LiveShardedIndex is the live serving form of a ShardedIndex: every
+// shard serves from an atomically-swappable epoch, writes route to
+// their shard's delta overlay, and background rebuilds fold one shard
+// at a time while the others keep serving. Queries use the same
+// scatter-gather merge as ShardedIndex/FrozenShardedIndex over a
+// consistent per-shard epoch capture.
+type LiveShardedIndex struct {
+	s *shard.Live
+}
+
+// LiveShardOptions configures NewLiveShardedIndex.
+type LiveShardOptions struct {
+	// Shards is the number of epoch-serving shards (0 means 1).
+	Shards int
+	// Partitioner assigns trajectories to shards (nil means
+	// HashPartitioner()).
+	Partitioner Partitioner
+	// Index configures every shard's base tree (and every rebuild).
+	Index IndexOptions
+	// Policy tunes background compaction.
+	Policy LivePolicy
+}
+
+// NewLiveShardedIndex partitions users and builds one frozen-epoch
+// shard per partition.
+func NewLiveShardedIndex(users []*Trajectory, opts LiveShardOptions) (*LiveShardedIndex, error) {
+	sopts := ShardOptions{Shards: opts.Shards, Partitioner: opts.Partitioner, Index: opts.Index}
+	s, err := shard.BuildLive(users, sopts.shardOptions(), opts.Policy.policy())
+	if err != nil {
+		return nil, err
+	}
+	return &LiveShardedIndex{s: s}, nil
+}
+
+// Live converts a built (or snapshot-restored) ShardedIndex into its
+// live serving form: every shard's tree is frozen into its first
+// epoch's base. An index restored with an unknown custom partitioner
+// converts too — it serves queries and Deletes, and Insert returns
+// ErrImmutable because new writes cannot be routed.
+func (x *ShardedIndex) Live(pol LivePolicy) (*LiveShardedIndex, error) {
+	s, err := x.s.Live(pol.policy())
+	if err != nil {
+		return nil, err
+	}
+	return &LiveShardedIndex{s: s}, nil
+}
+
+// Live converts a frozen sharded index into its live serving form — the
+// restore path that makes a read-only sharded snapshot mutable again.
+func (x *FrozenShardedIndex) Live(pol LivePolicy) (*LiveShardedIndex, error) {
+	s, err := x.s.Live(pol.policy())
+	if err != nil {
+		return nil, err
+	}
+	return &LiveShardedIndex{s: s}, nil
+}
+
+// NumShards returns the number of shards.
+func (x *LiveShardedIndex) NumShards() int { return x.s.NumShards() }
+
+// ShardSizes returns each shard's logical corpus size.
+func (x *LiveShardedIndex) ShardSizes() []int { return x.s.Sizes() }
+
+// Len returns the total logical corpus size.
+func (x *LiveShardedIndex) Len() int { return x.s.Len() }
+
+// Insert routes a user trajectory to its shard's delta overlay. Safe
+// concurrently with every query method and with other writes. Indexes
+// restored with an unknown partitioner return ErrImmutable.
+func (x *LiveShardedIndex) Insert(u *Trajectory) error { return x.s.Insert(u) }
+
+// Delete removes the trajectory with the given id from whichever shard
+// holds it, reporting whether it was present. Safe concurrently with
+// every query method — and works even when Insert is ErrImmutable,
+// because deletion routes by ID lookup, not by partitioner.
+func (x *LiveShardedIndex) Delete(id ID) bool { return x.s.Delete(id) }
+
+// Compact synchronously folds every shard's pending writes into fresh
+// frozen bases, one shard at a time.
+func (x *LiveShardedIndex) Compact() error { return x.s.Compact() }
+
+// Stats returns per-shard serving state.
+func (x *LiveShardedIndex) Stats() []LiveShardStats { return x.s.Stats() }
+
+// Err returns the most recent background-rebuild error, or nil.
+func (x *LiveShardedIndex) Err() error { return x.s.Err() }
+
+// ServiceValue computes SO(U, f) as the sum of per-shard epoch service
+// values.
+func (x *LiveShardedIndex) ServiceValue(f *Facility, q Query) (float64, error) {
+	v, _, err := x.s.ServiceValue(f, q.params())
+	return v, err
+}
+
+// ServiceValues computes the exact service value of every facility,
+// scattering each shard's batch across `workers` goroutines.
+func (x *LiveShardedIndex) ServiceValues(facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.s.ServiceValues(facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopK answers kMaxRRST over all live shards by scatter-gather, best
+// first, over a consistent per-shard epoch capture.
+func (x *LiveShardedIndex) TopK(facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.s.TopK(facilities, k, q.params())
+	return res, err
+}
+
+// TopKWithMetrics is TopK returning the merged per-shard work metrics.
+func (x *LiveShardedIndex) TopKWithMetrics(facilities []*Facility, k int, q Query) ([]Ranked, QueryMetrics, error) {
+	return x.s.TopK(facilities, k, q.params())
+}
+
+// TopKParallel is TopK with up to `workers` facility relaxations run
+// concurrently per round; the answer is identical to TopK.
+func (x *LiveShardedIndex) TopKParallel(facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.s.TopKParallel(facilities, k, q.params(), workers)
+	return res, err
+}
+
+// epochs exposes the current per-shard epoch capture to the snapshot
+// writer.
+func (x *LiveShardedIndex) epochs() []*query.Epoch { return x.s.Epochs() }
+
+func (x *LiveIndex) epochs() []*query.Epoch { return x.s.Epochs() }

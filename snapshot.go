@@ -179,6 +179,9 @@ func ReadSnapshot(r io.Reader) (*Index, error) {
 	if magic == frozenMagic {
 		return nil, fmt.Errorf("%w: frozen snapshot; use ReadFrozenSnapshot", ErrBadSnapshot)
 	}
+	if magic == liveMagic {
+		return nil, fmt.Errorf("%w: live snapshot; use ReadLiveSnapshot", ErrBadSnapshot)
+	}
 	if magic != snapshotMagic && magic != snapshotMagicV1 {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
@@ -329,6 +332,9 @@ func ReadShardedSnapshot(r io.Reader) (*ShardedIndex, error) {
 	}
 	if magic == shardedFrozenMagic {
 		return nil, fmt.Errorf("%w: frozen sharded snapshot; use ReadFrozenShardedSnapshot", ErrBadSnapshot)
+	}
+	if magic == liveMagic {
+		return nil, fmt.Errorf("%w: live snapshot; use ReadLiveSnapshot", ErrBadSnapshot)
 	}
 	if magic != shardedMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)

@@ -450,6 +450,8 @@ func ReadFrozenSnapshot(r io.Reader) (*FrozenIndex, error) {
 		return nil, fmt.Errorf("%w: rebuild-format snapshot; use ReadSnapshot", ErrBadSnapshot)
 	case shardedMagic, shardedFrozenMagic:
 		return nil, fmt.Errorf("%w: sharded snapshot; use ReadShardedSnapshot or ReadFrozenShardedSnapshot", ErrBadSnapshot)
+	case liveMagic:
+		return nil, fmt.Errorf("%w: live snapshot; use ReadLiveSnapshot", ErrBadSnapshot)
 	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
@@ -527,6 +529,8 @@ func ReadFrozenShardedSnapshot(r io.Reader) (*FrozenShardedIndex, error) {
 		return nil, fmt.Errorf("%w: rebuild-format sharded snapshot; use ReadShardedSnapshot", ErrBadSnapshot)
 	case snapshotMagic, snapshotMagicV1, frozenMagic:
 		return nil, fmt.Errorf("%w: single-index snapshot; use ReadSnapshot or ReadFrozenSnapshot", ErrBadSnapshot)
+	case liveMagic:
+		return nil, fmt.Errorf("%w: live snapshot; use ReadLiveSnapshot", ErrBadSnapshot)
 	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}

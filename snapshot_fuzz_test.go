@@ -27,7 +27,7 @@ type snapshotFormat struct {
 	read  func(r io.Reader) error
 }
 
-// snapshotFormats builds one small index per layout and returns all four
+// snapshotFormats builds one small index per layout and returns all five
 // formats wired to it.
 func snapshotFormats(t testing.TB) []snapshotFormat {
 	t.Helper()
@@ -49,12 +49,37 @@ func snapshotFormats(t testing.TB) []snapshotFormat {
 	if err != nil {
 		t.Fatal(err)
 	}
+	lv := churnedLiveIndex(t, users)
 	return []snapshotFormat{
 		{"TQSNAP02", idx.WriteSnapshot, func(r io.Reader) error { _, err := ReadSnapshot(r); return err }},
 		{"TQSNAP03", fz.WriteSnapshot, func(r io.Reader) error { _, err := ReadFrozenSnapshot(r); return err }},
 		{"TQSHRD01", sidx.WriteSnapshot, func(r io.Reader) error { _, err := ReadShardedSnapshot(r); return err }},
 		{"TQSHRD02", sfz.WriteSnapshot, func(r io.Reader) error { _, err := ReadFrozenShardedSnapshot(r); return err }},
+		{"TQLIVE01", lv.WriteSnapshot, func(r io.Reader) error { _, err := ReadLiveSnapshot(r, LivePolicy{}); return err }},
 	}
+}
+
+// churnedLiveIndex builds a small live index whose snapshot exercises
+// every TQLIVE01 section: a frozen base, pending delta, and tombstones.
+func churnedLiveIndex(t testing.TB, users []*Trajectory) *LiveShardedIndex {
+	t.Helper()
+	lv, err := NewLiveShardedIndex(users[:20], LiveShardOptions{
+		Shards: 2, Index: IndexOptions{Ordering: ZOrdering}, Policy: LivePolicy{Manual: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users[20:] {
+		if err := lv.Insert(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, u := range users[:6] {
+		if !lv.Delete(u.ID) {
+			t.Fatalf("Delete(%d) failed", u.ID)
+		}
+	}
+	return lv
 }
 
 func snapshotBytes(t testing.TB, f snapshotFormat) []byte {
@@ -176,6 +201,21 @@ func TestSnapshotRoundTripByteIdentical(t *testing.T) {
 		return out.Bytes(), err
 	})
 
+	lv := churnedLiveIndex(t, users)
+	var b5 bytes.Buffer
+	if err := lv.WriteSnapshot(&b5); err != nil {
+		t.Fatal(err)
+	}
+	check("TQLIVE01", b5.Bytes(), func() ([]byte, error) {
+		r, err := ReadLiveSnapshot(bytes.NewReader(b5.Bytes()), LivePolicy{Manual: true})
+		if err != nil {
+			return nil, err
+		}
+		var out bytes.Buffer
+		err = r.WriteSnapshot(&out)
+		return out.Bytes(), err
+	})
+
 	// The frozen restore must answer like the original frozen index.
 	routes := BusRoutes(ny, 8, 6, 2)
 	q := Query{Scenario: Binary, Psi: DefaultPsi}
@@ -266,5 +306,17 @@ func FuzzReadShardedSnapshot(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = ReadShardedSnapshot(bytes.NewReader(data))
 		_, _ = ReadFrozenShardedSnapshot(bytes.NewReader(data))
+	})
+}
+
+// FuzzReadLiveSnapshot feeds arbitrary bytes to the live reader; it may
+// never panic.
+func FuzzReadLiveSnapshot(f *testing.F) {
+	for _, sf := range snapshotFormats(f) {
+		f.Add(snapshotBytes(f, sf))
+	}
+	f.Add([]byte("TQLIVE01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadLiveSnapshot(bytes.NewReader(data), LivePolicy{})
 	})
 }
