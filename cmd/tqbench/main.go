@@ -60,6 +60,11 @@ func main() {
 		Title: "extra — snapshot restore: frozen columnar read vs tree rebuild (NYT, not in the paper)",
 		Run:   expRestore,
 	})
+	bench.RegisterExtra(bench.Experiment{
+		ID:    "serve",
+		Title: "extra — tqserve worker-pool HTTP front end requests/sec vs pool size (NYT, not in the paper)",
+		Run:   expServe,
+	})
 
 	if *list {
 		for _, e := range bench.Registry() {

@@ -1,0 +1,162 @@
+// Command tqserve is the long-running HTTP front end over a live
+// trajectory-coverage index: a bounded worker pool with admission
+// control (429 + Retry-After on queue overflow), per-request deadlines
+// propagated into the cancellation-aware query executor, and graceful
+// drain on SIGTERM/SIGINT. See internal/server for the endpoints and
+// ARCHITECTURE.md "Serving front end" for the design.
+//
+// Usage:
+//
+//	tqserve -addr :8080 -snapshot live.tqlive
+//	tqserve -addr :8080 -synthetic 50000 -shards 4
+//
+// The index is either restored from a TQLIVE01 snapshot (-snapshot,
+// written by LiveIndex/LiveShardedIndex.WriteSnapshot or GET
+// /v1/snapshot on a running tqserve) or generated (-synthetic N taxi
+// trips over the synthetic New York). Once serving:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/topk -d '{"facilities":[{"id":1,"stops":[[500,500],[800,300]]}],"k":1,"psi":300}'
+//
+// On SIGTERM the server stops admitting work (healthz flips to 503 so
+// load balancers drain), finishes in-flight requests up to
+// -drain-timeout, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	trajcover "github.com/trajcover/trajcover"
+	"github.com/trajcover/trajcover/internal/server"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	if err := run(os.Args[1:], os.Stdout, sig, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "tqserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus the process plumbing: tests drive it with their own
+// signal channel and read the bound address from ready.
+func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr string)) error {
+	fs := flag.NewFlagSet("tqserve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		snapshot     = fs.String("snapshot", "", "serve a TQLIVE01 snapshot file")
+		synthetic    = fs.Int("synthetic", 0, "serve N synthetic NYC taxi trips (when no -snapshot)")
+		seed         = fs.Int64("seed", 1, "synthetic data seed")
+		shards       = fs.Int("shards", 1, "shard count for -synthetic")
+		partitioner  = fs.String("partitioner", "hash", "partitioner for -synthetic: hash or grid")
+		workers      = fs.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 64, "admission queue depth (full queue => 429)")
+		timeout      = fs.Duration("timeout", 2*time.Second, "default per-request deadline")
+		maxTimeout   = fs.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
+		maxBody      = fs.Int64("max-body", 8<<20, "request body cap in bytes")
+		maxDelta     = fs.Int("maxdelta", 0, "pending writes per shard before a background rebuild (0 = default 4096)")
+		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "in-flight grace period on SIGTERM")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pol := trajcover.LivePolicy{MaxDelta: *maxDelta}
+	idx, err := buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(idx, server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "tqserve: serving %d trajectories across %d shard(s) on %s\n",
+		idx.Len(), idx.NumShards(), ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Slow clients must not hold handler goroutines outside the
+		// admission/deadline machinery (which starts only once the body
+		// is read): bound the header, the whole request read, and idle
+		// keep-alives.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	drained := make(chan error, 1)
+	go func() {
+		<-sig
+		fmt.Fprintln(stdout, "tqserve: draining")
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		err := hs.Shutdown(ctx)
+		if err != nil {
+			// Grace period elapsed with connections still alive: force
+			// them closed so no handler outlives the HTTP layer.
+			hs.Close()
+		}
+		drained <- err
+	}()
+
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	err = <-drained
+	srv.Close()
+	fmt.Fprintln(stdout, "tqserve: drained, bye")
+	return err
+}
+
+// buildIndex restores or generates the served index.
+func buildIndex(snapshot string, synthetic int, seed int64, shards int, partitioner string, pol trajcover.LivePolicy) (*trajcover.LiveShardedIndex, error) {
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trajcover.ReadLiveSnapshot(f, pol)
+	}
+	if synthetic <= 0 {
+		return nil, fmt.Errorf("need -snapshot or -synthetic N")
+	}
+	var part trajcover.Partitioner
+	switch partitioner {
+	case "hash":
+		part = trajcover.HashPartitioner()
+	case "grid":
+		part = trajcover.GridPartitioner()
+	default:
+		return nil, fmt.Errorf("unknown partitioner %q (want hash or grid)", partitioner)
+	}
+	users := trajcover.TaxiTrips(trajcover.NewYorkCity(), synthetic, seed)
+	return trajcover.NewLiveShardedIndex(users, trajcover.LiveShardOptions{
+		Shards:      shards,
+		Partitioner: part,
+		Index:       trajcover.IndexOptions{Ordering: trajcover.ZOrdering},
+		Policy:      pol,
+	})
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	trajcover "github.com/trajcover/trajcover"
+)
+
+// TestRunServesAndDrains boots tqserve on an ephemeral port with a
+// synthetic corpus, serves a health check and a topk query, then
+// delivers SIGTERM and asserts a clean drain.
+func TestRunServesAndDrains(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(
+			[]string{"-addr", "127.0.0.1:0", "-synthetic", "500", "-shards", "2", "-workers", "2", "-queue", "8"},
+			&out, sig, func(addr string) { ready <- addr },
+		)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v\n%s", err, out.String())
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"facilities":[{"id":1,"stops":[[500,500],[20000,15000]]}],"k":1,"psi":300}`
+	resp, err = http.Post(base+"/v1/topk", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(got), `"results"`) {
+		t.Fatalf("topk: %d %s", resp.StatusCode, got)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "draining") || !strings.Contains(out.String(), "drained") {
+		t.Fatalf("drain log missing: %s", out.String())
+	}
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// TestBuildIndexErrors pins the CLI's configuration failure modes.
+func TestBuildIndexErrors(t *testing.T) {
+	var pol trajcover.LivePolicy
+	if _, err := buildIndex("", 0, 1, 1, "hash", pol); err == nil {
+		t.Fatal("no data source accepted")
+	}
+	if _, err := buildIndex("", 10, 1, 1, "bogus", pol); err == nil {
+		t.Fatal("bogus partitioner accepted")
+	}
+	if _, err := buildIndex("/does/not/exist.tqlive", 0, 1, 1, "hash", pol); err == nil {
+		t.Fatal("missing snapshot accepted")
+	}
+}

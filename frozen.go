@@ -14,6 +14,8 @@ package trajcover
 // changes.
 
 import (
+	"context"
+
 	"github.com/trajcover/trajcover/internal/query"
 	"github.com/trajcover/trajcover/internal/shard"
 	"github.com/trajcover/trajcover/internal/tqtree"
@@ -88,6 +90,27 @@ func (x *FrozenIndex) TopKParallel(facilities []*Facility, k int, q Query, worke
 	return res, err
 }
 
+// ServiceValuesCtx is ServiceValues with cooperative cancellation; see
+// the deadline-aware variants note on Index.
+func (x *FrozenIndex) ServiceValuesCtx(ctx context.Context, facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.engine.ServiceValuesCtx(ctx, facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopKCtx is TopK with cooperative cancellation; see the deadline-aware
+// variants note on Index.
+func (x *FrozenIndex) TopKCtx(ctx context.Context, facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.engine.TopKCtx(ctx, facilities, k, q.params())
+	return res, err
+}
+
+// TopKParallelCtx is TopKParallel with cooperative cancellation; see the
+// deadline-aware variants note on Index.
+func (x *FrozenIndex) TopKParallelCtx(ctx context.Context, facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.engine.TopKParallelCtx(ctx, facilities, k, q.params(), workers)
+	return res, err
+}
+
 // FrozenShardedIndex is the immutable columnar form of a ShardedIndex:
 // every shard's tree frozen, served by the same scatter-gather merge.
 type FrozenShardedIndex struct {
@@ -141,5 +164,26 @@ func (x *FrozenShardedIndex) TopKWithMetrics(facilities []*Facility, k int, q Qu
 // concurrently per round; the answer is identical to TopK.
 func (x *FrozenShardedIndex) TopKParallel(facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
 	res, _, err := x.s.TopKParallel(facilities, k, q.params(), workers)
+	return res, err
+}
+
+// ServiceValuesCtx is ServiceValues with cooperative cancellation; see
+// the deadline-aware variants note on Index.
+func (x *FrozenShardedIndex) ServiceValuesCtx(ctx context.Context, facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.s.ServiceValuesCtx(ctx, facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopKCtx is TopK with cooperative cancellation; see the deadline-aware
+// variants note on Index.
+func (x *FrozenShardedIndex) TopKCtx(ctx context.Context, facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.s.TopKCtx(ctx, facilities, k, q.params())
+	return res, err
+}
+
+// TopKParallelCtx is TopKParallel with cooperative cancellation; see the
+// deadline-aware variants note on Index.
+func (x *FrozenShardedIndex) TopKParallelCtx(ctx context.Context, facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.s.TopKParallelCtx(ctx, facilities, k, q.params(), workers)
 	return res, err
 }

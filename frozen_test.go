@@ -1,8 +1,11 @@
 package trajcover
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 // frozenCase is one (dataset, variant) equivalence configuration. The
@@ -225,5 +228,106 @@ func TestFrozenRejectsUnsupportedScenario(t *testing.T) {
 	}
 	if _, err := fz.ServiceValue(routes[0], Query{Scenario: Length, Psi: DefaultPsi}); err == nil {
 		t.Fatal("expected scenario error for TwoPoint over multipoint data")
+	}
+}
+
+// TestPublicCtxVariantsAcrossIndexTypes pins the promise in the
+// deadline-aware variants note on Index: EVERY index type exposes
+// ServiceValuesCtx/TopKCtx/TopKParallelCtx, a background context
+// changes nothing, and an expired deadline aborts with
+// context.DeadlineExceeded.
+func TestPublicCtxVariantsAcrossIndexTypes(t *testing.T) {
+	ny := NewYorkCity()
+	users := TaxiTrips(ny, 1200, 17)
+	routes := BusRoutes(ny, 24, 8, 18)
+	q := Query{Scenario: Binary, Psi: 300}
+
+	idx, err := NewIndex(users, IndexOptions{Ordering: ZOrdering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := idx.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShardedIndex(users, ShardOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsh, err := sh.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := idx.Live(LivePolicy{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsh, err := sh.Live(LivePolicy{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type ctxAPI struct {
+		name string
+		sv   func(context.Context, []*Facility, Query, int) ([]float64, error)
+		topk func(context.Context, []*Facility, int, Query) ([]Ranked, error)
+		par  func(context.Context, []*Facility, int, Query, int) ([]Ranked, error)
+	}
+	apis := []ctxAPI{
+		{"Index", idx.ServiceValuesCtx, idx.TopKCtx, idx.TopKParallelCtx},
+		{"FrozenIndex", fz.ServiceValuesCtx, fz.TopKCtx, fz.TopKParallelCtx},
+		{"ShardedIndex", sh.ServiceValuesCtx, sh.TopKCtx, sh.TopKParallelCtx},
+		{"FrozenShardedIndex", fsh.ServiceValuesCtx, fsh.TopKCtx, fsh.TopKParallelCtx},
+		{"LiveIndex", lv.ServiceValuesCtx, lv.TopKCtx, lv.TopKParallelCtx},
+		{"LiveShardedIndex", lsh.ServiceValuesCtx, lsh.TopKCtx, lsh.TopKParallelCtx},
+	}
+	wantV, err := idx.ServiceValues(routes, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTop, err := idx.TopK(routes, 6, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, api := range apis {
+		t.Run(api.name, func(t *testing.T) {
+			vs, err := api.sv(context.Background(), routes, q, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantV {
+				if vs[i] != wantV[i] {
+					t.Fatalf("ServiceValuesCtx[%d] = %v, want %v", i, vs[i], wantV[i])
+				}
+			}
+			top, err := api.topk(context.Background(), routes, 6, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := api.par(context.Background(), routes, 6, q, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantTop {
+				if top[i].Facility.ID != wantTop[i].Facility.ID || top[i].Service != wantTop[i].Service {
+					t.Fatalf("TopKCtx[%d] = (%d, %v), want (%d, %v)", i,
+						top[i].Facility.ID, top[i].Service, wantTop[i].Facility.ID, wantTop[i].Service)
+				}
+				if par[i] != top[i] {
+					t.Fatalf("TopKParallelCtx[%d] differs from TopKCtx", i)
+				}
+			}
+			if _, err := api.sv(expired, routes, q, 2); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("ServiceValuesCtx(expired) err = %v", err)
+			}
+			if _, err := api.topk(expired, routes, 6, q); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("TopKCtx(expired) err = %v", err)
+			}
+			if _, err := api.par(expired, routes, 6, q, 3); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("TopKParallelCtx(expired) err = %v", err)
+			}
+		})
 	}
 }

@@ -1,0 +1,235 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/trajcover/trajcover/internal/service"
+	"github.com/trajcover/trajcover/internal/tqtree"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// TestResolveWorkers pins the one normalization every batch/parallel
+// entry point shares: non-positive means GOMAXPROCS, clamped to the
+// item count, never below 1.
+func TestResolveWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name           string
+		workers, items int
+		want           int
+	}{
+		{"zero means GOMAXPROCS", 0, 1 << 20, gmp},
+		{"negative means GOMAXPROCS", -7, 1 << 20, gmp},
+		{"explicit passes through", 3, 100, 3},
+		{"clamped to items", 16, 5, 5},
+		{"zero items still yields one", 4, 0, 1},
+		{"zero workers zero items", 0, 0, 1},
+		{"negative workers zero items", -1, 0, 1},
+		{"one and one", 1, 1, 1},
+		{"default clamped to items", 0, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ResolveWorkers(tc.workers, tc.items); got != tc.want {
+				t.Fatalf("ResolveWorkers(%d, %d) = %d, want %d", tc.workers, tc.items, got, tc.want)
+			}
+		})
+	}
+}
+
+// countdownCtx is a context whose Done channel closes after n polls —
+// a deterministic way to cancel mid-query, since the search loops poll
+// Done between relaxations. Safe for concurrent polling.
+type countdownCtx struct {
+	n    atomic.Int64
+	ch   chan struct{}
+	once sync.Once
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{ch: make(chan struct{})}
+	c.n.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	if c.n.Add(-1) < 0 {
+		c.once.Do(func() { close(c.ch) })
+	}
+	return c.ch
+}
+
+func (c *countdownCtx) Err() error {
+	select {
+	case <-c.ch:
+		return context.DeadlineExceeded
+	default:
+		return nil
+	}
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Value(any) any               { return nil }
+
+// TestCtxVariantsMatchPlain: with a context that never cancels, every
+// ctx variant answers byte-identically — values, order, and metrics —
+// to its plain counterpart.
+func TestCtxVariantsMatchPlain(t *testing.T) {
+	eng := executorEnv(t, tqtree.TwoPoint, tqtree.ZOrder)
+	fs := makeFacilities(32, 12, 301)
+	p := Params{Scenario: service.Binary, Psi: 45}
+	ctx := context.Background()
+
+	wantV, wantVM, err := eng.ServiceValues(fs, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotV, gotVM, err := eng.ServiceValuesCtx(ctx, fs, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotVM != wantVM {
+		t.Fatalf("ServiceValuesCtx metrics %+v, plain %+v", gotVM, wantVM)
+	}
+	for i := range wantV {
+		if gotV[i] != wantV[i] {
+			t.Fatalf("ServiceValuesCtx[%d] = %v, plain %v", i, gotV[i], wantV[i])
+		}
+	}
+
+	wantT, wantTM, err := eng.TopK(fs, 8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT, gotTM, err := eng.TopKCtx(ctx, fs, 8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTM != wantTM {
+		t.Fatalf("TopKCtx metrics %+v, plain %+v", gotTM, wantTM)
+	}
+	for i := range wantT {
+		if gotT[i] != wantT[i] {
+			t.Fatalf("TopKCtx[%d] = %+v, plain %+v", i, gotT[i], wantT[i])
+		}
+	}
+
+	gotP, _, err := eng.TopKParallelCtx(ctx, fs, 8, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantT {
+		if gotP[i] != wantT[i] {
+			t.Fatalf("TopKParallelCtx[%d] = %+v, plain %+v", i, gotP[i], wantT[i])
+		}
+	}
+}
+
+// TestCtxExpiredAborts: an already-expired deadline aborts every ctx
+// entry point with context.DeadlineExceeded and no answer.
+func TestCtxExpiredAborts(t *testing.T) {
+	eng := executorEnv(t, tqtree.TwoPoint, tqtree.ZOrder)
+	fs := makeFacilities(32, 12, 302)
+	p := Params{Scenario: service.Binary, Psi: 45}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	if vs, _, err := eng.ServiceValuesCtx(ctx, fs, p, 2); !errors.Is(err, context.DeadlineExceeded) || vs != nil {
+		t.Fatalf("ServiceValuesCtx = (%v, %v), want (nil, DeadlineExceeded)", vs, err)
+	}
+	if res, _, err := eng.TopKCtx(ctx, fs, 8, p); !errors.Is(err, context.DeadlineExceeded) || res != nil {
+		t.Fatalf("TopKCtx = (%v, %v), want (nil, DeadlineExceeded)", res, err)
+	}
+	if res, _, err := eng.TopKParallelCtx(ctx, fs, 8, p, 4); !errors.Is(err, context.DeadlineExceeded) || res != nil {
+		t.Fatalf("TopKParallelCtx = (%v, %v), want (nil, DeadlineExceeded)", res, err)
+	}
+}
+
+// TestCtxAbortsMidQuery: a context that expires after a fixed number of
+// polls aborts the search partway — proof the loops actually check
+// between relaxations rather than only on entry.
+func TestCtxAbortsMidQuery(t *testing.T) {
+	eng := executorEnv(t, tqtree.TwoPoint, tqtree.ZOrder)
+	fs := makeFacilities(32, 12, 303)
+	p := Params{Scenario: service.Binary, Psi: 45}
+
+	// Sanity: the query needs enough relaxations for "mid-query" to mean
+	// something.
+	_, full, err := eng.TopK(fs, 8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Relaxations < 8 {
+		t.Fatalf("test query too small: %d relaxations", full.Relaxations)
+	}
+
+	ctx := newCountdownCtx(5)
+	res, m, err := eng.TopKCtx(ctx, fs, 8, p)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TopKCtx err = %v, want DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Fatalf("TopKCtx returned partial results: %v", res)
+	}
+	if m.Relaxations == 0 || m.Relaxations >= full.Relaxations {
+		t.Fatalf("abort not mid-query: %d relaxations (full run %d)", m.Relaxations, full.Relaxations)
+	}
+
+	vctx := newCountdownCtx(5)
+	if vs, _, err := eng.ServiceValuesCtx(vctx, fs, p, 1); !errors.Is(err, context.DeadlineExceeded) || vs != nil {
+		t.Fatalf("ServiceValuesCtx = (%v, %v), want (nil, DeadlineExceeded)", vs, err)
+	}
+}
+
+// TestEpochServiceValuesCtx: the epoch batch (masked base + delta fold)
+// honors cancellation in both its serial and worker paths.
+func TestEpochServiceValuesCtx(t *testing.T) {
+	users := makeUsers(800, 2, 304)
+	tree, err := tqtree.Build(users.All[:600], tqtree.Options{
+		Variant: tqtree.TwoPoint, Ordering: tqtree.ZOrder, Bounds: testBounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := tqtree.Freeze(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := trajectory.NewSet(users.All[:600])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := NewEpoch(NewFrozenEngine(fz, base), users.All[600:], nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := makeFacilities(24, 8, 305)
+	p := Params{Scenario: service.Binary, Psi: 45}
+
+	want, _, err := ep.ServiceValues(fs, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ep.ServiceValuesCtx(context.Background(), fs, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ServiceValuesCtx[%d] = %v, plain %v", i, got[i], want[i])
+		}
+	}
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		if vs, _, err := ep.ServiceValuesCtx(ctx, fs, p, workers); !errors.Is(err, context.DeadlineExceeded) || vs != nil {
+			t.Fatalf("workers=%d: ServiceValuesCtx = (%v, %v), want (nil, DeadlineExceeded)", workers, vs, err)
+		}
+		cancel()
+	}
+}

@@ -316,17 +316,24 @@ func (ep *Epoch) ServiceValue(f *trajectory.Facility, p Params) (float64, Metric
 // a pool of workers; see Engine.ServiceValues. The delta contributions
 // are folded in per facility after the batch, preserving determinism.
 func (ep *Epoch) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
+	return ep.serviceValues(facilities, p, workers, nil)
+}
+
+func (ep *Epoch) serviceValues(facilities []*trajectory.Facility, p Params, workers int, cc *canceller) ([]float64, Metrics, error) {
 	if err := ep.validate(p); err != nil {
 		return nil, Metrics{}, err
 	}
-	out, m, err := serviceValuesG[int32](ep.layout(), facilities, p, workers)
+	out, m, err := serviceValuesG[int32](ep.layout(), facilities, p, workers, cc)
 	if err != nil {
 		return nil, m, err
 	}
 	if len(ep.delta) > 0 {
-		workers = resolveWorkers(workers, len(facilities))
+		workers = ResolveWorkers(workers, len(facilities))
 		if workers <= 1 {
 			for i, f := range facilities {
+				if err := cc.stopped(); err != nil {
+					return nil, m, err
+				}
 				out[i] += ep.deltaService(f, p, &m)
 			}
 		} else {
@@ -337,7 +344,7 @@ func (ep *Epoch) ServiceValues(facilities []*trajectory.Facility, p Params, work
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					for {
+					for cc.stopped() == nil {
 						i := int(next.Add(1)) - 1
 						if i >= len(facilities) {
 							return
@@ -349,6 +356,9 @@ func (ep *Epoch) ServiceValues(facilities []*trajectory.Facility, p Params, work
 			wg.Wait()
 			for _, wm := range perWorker {
 				m.Add(wm)
+			}
+			if err := cc.stopped(); err != nil {
+				return nil, m, err
 			}
 		}
 	}

@@ -20,10 +20,20 @@ import (
 // serial run wherever the work split is deterministic. The actual batch
 // loops live in layout.go, shared with the frozen columnar engine.
 
-// resolveWorkers maps a workers argument to an effective pool size:
-// non-positive means GOMAXPROCS, and a batch never needs more workers
-// than items.
-func resolveWorkers(workers, items int) int {
+// ResolveWorkers maps a caller's `workers` argument to an effective pool
+// size. It is THE normalization for every batch and parallel entry point
+// in this module — Engine, FrozenEngine, Epoch, and the sharded/live
+// scatter-gather in internal/shard all apply the same rule:
+//
+//   - workers <= 0 means runtime.GOMAXPROCS(0);
+//   - the pool never exceeds `items` (a batch can't use more workers
+//     than units of work, a relaxation round can't usefully batch more
+//     states than facilities);
+//   - the result is never below 1, even for an empty batch.
+//
+// Parallel TopK entry points additionally fall back to their serial
+// search when the resolved pool is 1 — same answers, no goroutines.
+func ResolveWorkers(workers, items int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -49,9 +59,9 @@ func (m *Metrics) Add(other Metrics) {
 // is indexed like facilities, so the ordering is deterministic and
 // identical to calling ServiceValue in a loop; the merged Metrics totals
 // are as well, because each facility's traversal is independent.
-// workers <= 0 uses GOMAXPROCS.
+// workers is normalized by ResolveWorkers.
 func (e *Engine) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
-	return serviceValuesG[*tqtreeNode](ptrLayout{e.tree}, facilities, p, workers)
+	return serviceValuesG[*tqtreeNode](ptrLayout{e.tree}, facilities, p, workers, nil)
 }
 
 // TopKExhaustiveParallel is TopKExhaustive with the per-facility scoring
@@ -79,13 +89,14 @@ func (e *Engine) TopKExhaustiveParallel(facilities []*trajectory.Facility, k int
 // search — so the results are identical to TopK. Metrics.Relaxations may
 // exceed the serial count: batching can relax states the serial search
 // would have pruned by an earlier termination, buying wall-clock time
-// with speculative work. workers <= 1 falls back to the serial TopK.
+// with speculative work. workers is normalized by ResolveWorkers; a
+// single-worker pool falls back to the serial TopK.
 func (e *Engine) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]Result, Metrics, error) {
-	workers = resolveWorkers(workers, len(facilities))
+	workers = ResolveWorkers(workers, len(facilities))
 	if workers <= 1 {
 		return e.TopK(facilities, k, p)
 	}
-	return topKParallelG[*tqtreeNode](ptrLayout{e.tree}, facilities, k, p, workers)
+	return topKParallelG[*tqtreeNode](ptrLayout{e.tree}, facilities, k, p, workers, nil)
 }
 
 // Results converts a batch of service values into sorted top-k results —

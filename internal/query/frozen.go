@@ -48,12 +48,12 @@ func (e *FrozenEngine) ServiceValue(f *trajectory.Facility, p Params) (float64, 
 // sharding the facilities across a pool of workers; see
 // Engine.ServiceValues.
 func (e *FrozenEngine) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
-	return serviceValuesG[int32](frozenLayout{e.f}, facilities, p, workers)
+	return serviceValuesG[int32](frozenLayout{e.f}, facilities, p, workers, nil)
 }
 
 // TopK answers the kMaxRRST query best first; see Engine.TopK.
 func (e *FrozenEngine) TopK(facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
-	return topKG[int32](frozenLayout{e.f}, facilities, k, p)
+	return topKG[int32](frozenLayout{e.f}, facilities, k, p, nil)
 }
 
 // TopKExhaustive evaluates every facility and sorts; see
@@ -65,11 +65,11 @@ func (e *FrozenEngine) TopKExhaustive(facilities []*trajectory.Facility, k int, 
 // TopKParallel is TopK with up to `workers` frontier states relaxed
 // concurrently per round; see Engine.TopKParallel.
 func (e *FrozenEngine) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]Result, Metrics, error) {
-	workers = resolveWorkers(workers, len(facilities))
+	workers = ResolveWorkers(workers, len(facilities))
 	if workers <= 1 {
 		return e.TopK(facilities, k, p)
 	}
-	return topKParallelG[int32](frozenLayout{e.f}, facilities, k, p, workers)
+	return topKParallelG[int32](frozenLayout{e.f}, facilities, k, p, workers, nil)
 }
 
 // FrozenExplorer drives one facility's best-first exploration over a

@@ -307,8 +307,10 @@ func relaxStateG[N comparable, L tlayout[N]](l L, s *stateG[N], p Params, mode t
 }
 
 // topKG answers the kMaxRRST query with the best-first strategy of
-// Algorithm 3 driven by the q-node `sub` upper bounds.
-func topKG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
+// Algorithm 3 driven by the q-node `sub` upper bounds. cc (nil means
+// "never") is polled between relaxations; a done context aborts the
+// search with its error and no partial answer.
+func topKG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, k int, p Params, cc *canceller) ([]Result, Metrics, error) {
 	if err := validateQuery[N](l, p); err != nil {
 		return nil, Metrics{}, err
 	}
@@ -330,6 +332,9 @@ func topKG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, k
 
 	results := make([]Result, 0, k)
 	for h.Len() > 0 && len(results) < k {
+		if err := cc.stopped(); err != nil {
+			return nil, m, err
+		}
 		s := heap.Pop(&h).(*stateG[N])
 		// hserve == 0 means no unexplored pair can add service: aserve
 		// is exact. This covers both the fully-explored case (empty
@@ -350,7 +355,7 @@ func topKG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, k
 // condition as the serial search — so the results are identical;
 // Metrics.Relaxations may exceed the serial count because batching can
 // relax states the serial search would have pruned.
-func topKParallelG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, k int, p Params, workers int) ([]Result, Metrics, error) {
+func topKParallelG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, k int, p Params, workers int, cc *canceller) ([]Result, Metrics, error) {
 	if err := validateQuery[N](l, p); err != nil {
 		return nil, Metrics{}, err
 	}
@@ -374,6 +379,12 @@ func topKParallelG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Fac
 	batch := make([]*stateG[N], 0, workers)
 	perWorker := make([]Metrics, workers)
 	for h.Len() > 0 && len(results) < k {
+		if err := cc.stopped(); err != nil {
+			for _, wm := range perWorker {
+				m.Add(wm)
+			}
+			return nil, m, err
+		}
 		s := heap.Pop(&h).(*stateG[N])
 		if s.done() {
 			results = append(results, Result{Facility: s.fac, Service: s.aserve})
@@ -415,8 +426,10 @@ func topKParallelG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Fac
 // serviceValuesG computes SO(U, f) for every facility in one batch,
 // sharding the facilities across a pool of workers. The returned slice is
 // indexed like facilities; ordering and merged Metrics are deterministic
-// because each facility's traversal is independent.
-func serviceValuesG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
+// because each facility's traversal is independent. cc (nil means
+// "never") is polled between facilities in every worker; a done context
+// aborts the batch with its error and no partial answer.
+func serviceValuesG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Facility, p Params, workers int, cc *canceller) ([]float64, Metrics, error) {
 	if err := validateQuery[N](l, p); err != nil {
 		return nil, Metrics{}, err
 	}
@@ -426,11 +439,15 @@ func serviceValuesG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Fa
 	}
 	mode := l.FilterModeFor(p.Scenario)
 	out := make([]float64, len(facilities))
-	workers = resolveWorkers(workers, len(facilities))
+	workers = ResolveWorkers(workers, len(facilities))
 	stops := maxStops(facilities)
 	if workers == 1 {
 		arena := acquireCompArena(stops)
 		for i, f := range facilities {
+			if err := cc.stopped(); err != nil {
+				putCompArena(arena)
+				return nil, m, err
+			}
 			out[i] = evaluateServiceG(l, l.Root(), f.Stops, p, mode, &m, arena)
 		}
 		putCompArena(arena)
@@ -445,7 +462,7 @@ func serviceValuesG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Fa
 			defer wg.Done()
 			arena := acquireCompArena(stops)
 			wm := &perWorker[w]
-			for {
+			for cc.stopped() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(facilities) {
 					break
@@ -458,6 +475,9 @@ func serviceValuesG[N comparable, L tlayout[N]](l L, facilities []*trajectory.Fa
 	wg.Wait()
 	for _, wm := range perWorker {
 		m.Add(wm)
+	}
+	if err := cc.stopped(); err != nil {
+		return nil, m, err
 	}
 	return out, m, nil
 }

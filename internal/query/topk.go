@@ -17,7 +17,7 @@ type Result struct {
 // service value, in non-increasing order, computed with the best-first
 // strategy of Algorithm 3 driven by the q-node `sub` upper bounds.
 func (e *Engine) TopK(facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
-	return topKG[*tqtreeNode](ptrLayout{e.tree}, facilities, k, p)
+	return topKG[*tqtreeNode](ptrLayout{e.tree}, facilities, k, p, nil)
 }
 
 // TopKExhaustive computes the same answer as TopK by evaluating every

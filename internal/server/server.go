@@ -1,0 +1,589 @@
+// Package server is the long-running HTTP (JSON) front end over a live
+// trajectory-coverage index — the layer that turns the batch executor
+// into a system with an SLO. cmd/tqserve is its CLI wrapper.
+//
+// The serving core is a bounded worker pool with admission control:
+// every /v1/* request is decoded and validated in the HTTP handler, then
+// submitted to a queue of configurable depth ahead of a fixed pool of
+// workers. A full queue fails fast — 429 with a Retry-After hint —
+// instead of letting latency collapse under overload. Each admitted
+// request carries a deadline (the server default, or the request's
+// timeout_ms capped at Config.MaxTimeout) propagated as a
+// context.Context into the cancellation-aware query executor, so an
+// expired request aborts between facility relaxations rather than
+// holding a worker. /healthz and /statsz serve readiness and the
+// per-endpoint latency/queue counters; /v1/snapshot streams a TQLIVE01
+// checkpoint without stopping writes.
+//
+// Endpoints:
+//
+//	POST /v1/topk           {"facilities":[{"id":1,"stops":[[x,y],...]}],"k":8,"scenario":"binary","psi":300}
+//	POST /v1/servicevalues  {"facilities":[...],"scenario":"binary","psi":300}
+//	POST /v1/insert         {"id":9001,"points":[[x,y],[x,y]]}
+//	POST /v1/delete         {"id":9001}
+//	POST /v1/compact        {}
+//	GET  /v1/snapshot       -> TQLIVE01 stream
+//	GET  /healthz, /statsz
+//
+// Shutdown protocol: BeginDrain (new work → 503, health → draining),
+// then stop the HTTP listener (http.Server.Shutdown waits for in-flight
+// handlers, whose queued tasks the pool finishes or abandons at their
+// deadlines), then Close to stop the workers. Close must come after the
+// HTTP layer has stopped delivering requests.
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	trajcover "github.com/trajcover/trajcover"
+)
+
+// Config tunes the serving core. The zero value serves with GOMAXPROCS
+// workers, a 64-deep queue, a 2s default deadline capped at 30s, 8 MiB
+// request bodies, and a 1s Retry-After hint.
+type Config struct {
+	// Workers is the size of the query worker pool (<= 0: GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// before new ones are rejected with 429 (<= 0: 64).
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the request names
+	// none (<= 0: 2s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (<= 0: 30s).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request bodies (<= 0: 8 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the Retry-After hint on 429 responses (<= 0: 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// response is a computed answer a worker hands back to the waiting
+// handler; the handler alone touches the ResponseWriter.
+type response struct {
+	status int
+	body   []byte
+}
+
+// task is one admitted request: the deadline context, the work closure,
+// and the channel the handler waits on. If the handler gives up at its
+// deadline first, the finished (or skipped) response is simply dropped.
+type task struct {
+	ctx  context.Context
+	run  func(ctx context.Context) response
+	resp response
+	done chan struct{}
+}
+
+// endpointStats is one endpoint's counters, updated with atomics on the
+// serving path and snapshotted by /statsz. `observed` counts only the
+// requests that reached a timed terminal path (admitted work and
+// snapshot streams) and is the latency mean's denominator — decode and
+// drain rejections bump `requests`/`errors` without skewing the mean.
+type endpointStats struct {
+	requests atomic.Uint64
+	rejected atomic.Uint64
+	errors   atomic.Uint64
+	deadline atomic.Uint64
+	observed atomic.Uint64
+	totalNs  atomic.Int64
+	maxNs    atomic.Int64
+}
+
+func (e *endpointStats) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	e.observed.Add(1)
+	e.totalNs.Add(ns)
+	for {
+		cur := e.maxNs.Load()
+		if ns <= cur || e.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// EndpointSnapshot is one endpoint's counters as served by /statsz.
+// MeanMillis/MaxMillis are over Observed (requests that reached the
+// pool or the snapshot stream), not Requests, so decode rejections
+// cannot dilute the served-latency figures.
+type EndpointSnapshot struct {
+	Requests         uint64  `json:"requests"`
+	Observed         uint64  `json:"observed"`
+	Rejected         uint64  `json:"rejected"`
+	Errors           uint64  `json:"errors"`
+	DeadlineExceeded uint64  `json:"deadline_exceeded"`
+	MeanMillis       float64 `json:"mean_ms"`
+	MaxMillis        float64 `json:"max_ms"`
+}
+
+func (e *endpointStats) snapshot() EndpointSnapshot {
+	s := EndpointSnapshot{
+		Requests:         e.requests.Load(),
+		Observed:         e.observed.Load(),
+		Rejected:         e.rejected.Load(),
+		Errors:           e.errors.Load(),
+		DeadlineExceeded: e.deadline.Load(),
+		MaxMillis:        float64(e.maxNs.Load()) / 1e6,
+	}
+	if s.Observed > 0 {
+		s.MeanMillis = float64(e.totalNs.Load()) / 1e6 / float64(s.Observed)
+	}
+	return s
+}
+
+// IndexSnapshot is the served index's state as reported by /statsz.
+type IndexSnapshot struct {
+	Len          int                        `json:"len"`
+	Shards       int                        `json:"shards"`
+	PerShard     []trajcover.LiveShardStats `json:"per_shard"`
+	RebuildError string                     `json:"rebuild_error,omitempty"`
+}
+
+// Stats is the /statsz document.
+type Stats struct {
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Workers       int                         `json:"workers"`
+	QueueCap      int                         `json:"queue_cap"`
+	QueueDepth    int                         `json:"queue_depth"`
+	Draining      bool                        `json:"draining"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Index         IndexSnapshot               `json:"index"`
+}
+
+// Server is the worker-pool front end over a live sharded index.
+// Construct with New, expose Handler over any http.Server, and shut
+// down with BeginDrain → HTTP shutdown → Close.
+type Server struct {
+	cfg   Config
+	idx   *trajcover.LiveShardedIndex
+	queue chan *task
+
+	// qmu makes Close safe against stragglers: enqueues hold the read
+	// side, Close closes the queue under the write side. The intended
+	// shutdown order (HTTP first, then Close) makes contention zero;
+	// the lock is what turns a violated order — e.g. a slow-body
+	// handler outliving a timed-out http.Server.Shutdown — into a 503
+	// instead of a send-on-closed-channel panic.
+	qmu       sync.RWMutex
+	closed    bool
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	draining  atomic.Bool
+	start     time.Time
+
+	mux        *http.ServeMux
+	stats      map[string]*endpointStats // fixed key set; read-only after New
+	retryAfter string
+}
+
+// Endpoint paths, also the /statsz counter keys.
+const (
+	PathTopK          = "/v1/topk"
+	PathServiceValues = "/v1/servicevalues"
+	PathInsert        = "/v1/insert"
+	PathDelete        = "/v1/delete"
+	PathCompact       = "/v1/compact"
+	PathSnapshot      = "/v1/snapshot"
+	PathHealth        = "/healthz"
+	PathStats         = "/statsz"
+)
+
+// New builds a Server over idx and starts its worker pool.
+func New(idx *trajcover.LiveShardedIndex, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		idx:        idx,
+		queue:      make(chan *task, cfg.QueueDepth),
+		start:      time.Now(),
+		mux:        http.NewServeMux(),
+		stats:      map[string]*endpointStats{},
+		retryAfter: strconv.Itoa(int((cfg.RetryAfter + time.Second - 1) / time.Second)),
+	}
+	for _, p := range []string{PathTopK, PathServiceValues, PathInsert, PathDelete, PathCompact, PathSnapshot} {
+		s.stats[p] = &endpointStats{}
+	}
+	s.mux.HandleFunc(PathTopK, s.requirePost(s.handleTopK))
+	s.mux.HandleFunc(PathServiceValues, s.requirePost(s.handleServiceValues))
+	s.mux.HandleFunc(PathInsert, s.requirePost(s.handleInsert))
+	s.mux.HandleFunc(PathDelete, s.requirePost(s.handleDelete))
+	s.mux.HandleFunc(PathCompact, s.requirePost(s.handleCompact))
+	s.mux.HandleFunc(PathSnapshot, s.handleSnapshot)
+	s.mux.HandleFunc(PathHealth, s.handleHealth)
+	s.mux.HandleFunc(PathStats, s.handleStats)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Index returns the served index.
+func (s *Server) Index() *trajcover.LiveShardedIndex { return s.idx }
+
+// BeginDrain flips the server into draining: /healthz reports 503 (so
+// load balancers stop routing here) and new /v1/* work is rejected with
+// 503 while in-flight requests finish. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the worker pool after the remaining queue drains and
+// blocks until every worker has exited. Call it after the HTTP layer
+// has stopped delivering requests (http.Server.Shutdown or
+// httptest.Server.Close has returned); a handler that nevertheless
+// outlived a timed-out Shutdown gets 503 from then on rather than
+// racing the queue close. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.qmu.Lock()
+		s.closed = true
+		close(s.queue)
+		s.qmu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// enqueue admits a task unless the queue is full (false, nil) or the
+// pool is closed (false, error).
+func (s *Server) enqueue(t *task) (bool, error) {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return false, errors.New("server closed")
+	}
+	select {
+	case s.queue <- t:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// worker executes admitted tasks in arrival order. A task whose
+// deadline already passed while queued is skipped — its handler has
+// answered 504 — so a saturated queue sheds abandoned work at a glance
+// instead of running queries nobody is waiting for.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		if err := t.ctx.Err(); err != nil {
+			t.resp = errResponse(err)
+		} else {
+			t.resp = t.run(t.ctx)
+		}
+		close(t.done)
+	}
+}
+
+// requestTimeout resolves a request's deadline from its timeout_ms.
+func (s *Server) requestTimeout(timeoutMS int64) time.Duration {
+	if timeoutMS <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// execute runs one admitted unit of work through the pool: admission
+// (429 on a full queue), deadline propagation, and the wait for either
+// the worker's response or the deadline (504). All terminal paths
+// update the endpoint's counters; only this handler goroutine writes w.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, ep *endpointStats, timeoutMS int64, run func(ctx context.Context) response) {
+	start := time.Now()
+	ep.requests.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(timeoutMS))
+	defer cancel()
+	t := &task{ctx: ctx, run: run, done: make(chan struct{})}
+	ok, err := s.enqueue(t)
+	if err != nil {
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if !ok {
+		ep.rejected.Add(1)
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "worker queue full"})
+		return
+	}
+	// Only admitted requests are timed: rejections return in
+	// microseconds and would otherwise dilute the served-latency mean.
+	defer func() { ep.observe(time.Since(start)) }()
+	select {
+	case <-t.done:
+		if t.resp.status >= 400 {
+			ep.errors.Add(1)
+			if t.resp.status == http.StatusGatewayTimeout {
+				ep.deadline.Add(1)
+			}
+		}
+		writeRaw(w, t.resp.status, t.resp.body)
+	case <-ctx.Done():
+		// Deadline or client disconnect while queued or mid-query; the
+		// query layer unwinds on its own and the worker drops the task.
+		ep.errors.Add(1)
+		ep.deadline.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: ctx.Err().Error()})
+	}
+}
+
+// admit gates an endpoint handler on drain state and reads the capped
+// body; a nil return means admit already answered.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, ep *endpointStats) ([]byte, bool) {
+	if s.draining.Load() {
+		ep.requests.Add(1)
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		ep.requests.Add(1)
+		ep.errors.Add(1)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) requirePost(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) rejectDecode(w http.ResponseWriter, ep *endpointStats, err error) {
+	ep.requests.Add(1)
+	ep.errors.Add(1)
+	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	ep := s.stats[PathTopK]
+	body, ok := s.admit(w, r, ep)
+	if !ok {
+		return
+	}
+	req, facs, q, err := DecodeQueryRequest(body, true)
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
+	s.execute(w, r, ep, req.TimeoutMS, func(ctx context.Context) response {
+		res, err := s.idx.TopKParallelCtx(ctx, facs, req.K, q, req.Workers)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{status: http.StatusOK, body: MarshalTopKResponse(res)}
+	})
+}
+
+func (s *Server) handleServiceValues(w http.ResponseWriter, r *http.Request) {
+	ep := s.stats[PathServiceValues]
+	body, ok := s.admit(w, r, ep)
+	if !ok {
+		return
+	}
+	req, facs, q, err := DecodeQueryRequest(body, false)
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
+	s.execute(w, r, ep, req.TimeoutMS, func(ctx context.Context) response {
+		vs, err := s.idx.ServiceValuesCtx(ctx, facs, q, req.Workers)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{status: http.StatusOK, body: MarshalValuesResponse(vs)}
+	})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	ep := s.stats[PathInsert]
+	body, ok := s.admit(w, r, ep)
+	if !ok {
+		return
+	}
+	req, u, err := DecodeInsertRequest(body)
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
+	s.execute(w, r, ep, req.TimeoutMS, func(context.Context) response {
+		if err := s.idx.Insert(u); err != nil {
+			// Duplicate IDs and unroutable (immutable-restore) inserts
+			// are conflicts with the served corpus, not malformed input.
+			return response{status: http.StatusConflict, body: mustMarshal(ErrorResponse{Error: err.Error()})}
+		}
+		return response{status: http.StatusOK, body: mustMarshal(InsertResponse{Len: s.idx.Len()})}
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	ep := s.stats[PathDelete]
+	body, ok := s.admit(w, r, ep)
+	if !ok {
+		return
+	}
+	req, err := DecodeDeleteRequest(body)
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
+	s.execute(w, r, ep, req.TimeoutMS, func(context.Context) response {
+		found := s.idx.Delete(trajcover.ID(req.ID))
+		return response{status: http.StatusOK, body: mustMarshal(DeleteResponse{Found: found})}
+	})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	ep := s.stats[PathCompact]
+	if _, ok := s.admit(w, r, ep); !ok {
+		return
+	}
+	// Compact is not deadline-aware below the swap points; give it the
+	// full MaxTimeout rather than the query default.
+	s.execute(w, r, ep, s.cfg.MaxTimeout.Milliseconds(), func(context.Context) response {
+		if err := s.idx.Compact(); err != nil {
+			return response{status: http.StatusInternalServerError, body: mustMarshal(ErrorResponse{Error: err.Error()})}
+		}
+		return response{status: http.StatusOK, body: mustMarshal(CompactResponse{OK: true})}
+	})
+}
+
+// handleSnapshot streams a TQLIVE01 checkpoint of the live index. The
+// capture is one atomic epoch-set read, so writes keep flowing while
+// the stream runs; it bypasses the query pool (it is IO-bound ops
+// traffic, not index work) but still counts on /statsz.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	ep := s.stats[PathSnapshot]
+	ep.requests.Add(1)
+	start := time.Now()
+	defer func() { ep.observe(time.Since(start)) }()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use GET"})
+		return
+	}
+	if s.draining.Load() {
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.idx.WriteSnapshot(w); err != nil {
+		// Headers are already gone; all we can do is count and cut the
+		// stream short so the client's CRC check fails loudly.
+		ep.errors.Add(1)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the serving counters — the same document /statsz
+// serves.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		QueueCap:      s.cfg.QueueDepth,
+		QueueDepth:    len(s.queue),
+		Draining:      s.draining.Load(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(s.stats)),
+	}
+	for p, ep := range s.stats {
+		st.Endpoints[p] = ep.snapshot()
+	}
+	per := s.idx.Stats()
+	st.Index = IndexSnapshot{
+		Len:      s.idx.Len(),
+		Shards:   s.idx.NumShards(),
+		PerShard: per,
+	}
+	if err := s.idx.Err(); err != nil {
+		st.Index.RebuildError = err.Error()
+	}
+	return st
+}
+
+// errResponse maps a query-layer error to a response: expired deadlines
+// and cancelled clients are 504 (the deadline did its job), anything
+// else surviving the hardened decoder is a request the index rejected
+// (e.g. a scenario the index variant cannot answer exactly) — 400.
+func errResponse(err error) response {
+	status := http.StatusBadRequest
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusGatewayTimeout
+	}
+	return response{status: status, body: mustMarshal(ErrorResponse{Error: err.Error()})}
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	writeRaw(w, status, mustMarshal(v))
+}

@@ -1,0 +1,790 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	trajcover "github.com/trajcover/trajcover"
+)
+
+var testBounds = trajcover.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func testUsers(n int, seed int64) []*trajcover.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*trajcover.Trajectory, n)
+	for i := range out {
+		ax, ay := rng.Float64()*1000, rng.Float64()*1000
+		pts := []trajcover.Point{
+			trajcover.Pt(clampF(ax+rng.NormFloat64()*80, 0, 1000), clampF(ay+rng.NormFloat64()*80, 0, 1000)),
+			trajcover.Pt(clampF(ax+rng.NormFloat64()*80, 0, 1000), clampF(ay+rng.NormFloat64()*80, 0, 1000)),
+		}
+		u, err := trajcover.NewTrajectory(trajcover.ID(i), pts)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = u
+	}
+	return out
+}
+
+func testFacilities(n, stops int, seed int64) []*trajcover.Facility {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*trajcover.Facility, n)
+	for i := range out {
+		ax, ay := rng.Float64()*1000, rng.Float64()*1000
+		dx, dy := rng.NormFloat64(), rng.NormFloat64()
+		pts := make([]trajcover.Point, stops)
+		for j := range pts {
+			pts[j] = trajcover.Pt(
+				clampF(ax+float64(j)*20*dx+rng.NormFloat64()*10, 0, 1000),
+				clampF(ay+float64(j)*20*dy+rng.NormFloat64()*10, 0, 1000),
+			)
+		}
+		f, err := trajcover.NewFacility(trajcover.ID(10_000+i), pts)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func facilityJSONOf(fs []*trajcover.Facility) []FacilityJSON {
+	out := make([]FacilityJSON, len(fs))
+	for i, f := range fs {
+		stops := make([][2]float64, len(f.Stops))
+		for j, st := range f.Stops {
+			stops[j] = [2]float64{st.X, st.Y}
+		}
+		out[i] = FacilityJSON{ID: uint32(f.ID), Stops: stops}
+	}
+	return out
+}
+
+func liveOpts() trajcover.LiveShardOptions {
+	return trajcover.LiveShardOptions{
+		Shards:      2,
+		Partitioner: trajcover.HashPartitioner(),
+		Index:       trajcover.IndexOptions{Ordering: trajcover.ZOrdering, Beta: 8, Bounds: testBounds},
+		Policy:      trajcover.LivePolicy{Manual: true},
+	}
+}
+
+// env is one serving fixture: the server under test behind httptest and
+// an identically built mirror index driven directly.
+type env struct {
+	t      *testing.T
+	srv    *Server
+	ts     *httptest.Server
+	mirror *trajcover.LiveShardedIndex
+	client *http.Client
+}
+
+func newEnv(t *testing.T, base []*trajcover.Trajectory, cfg Config) *env {
+	t.Helper()
+	idx, err := trajcover.NewLiveShardedIndex(base, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := trajcover.NewLiveShardedIndex(base, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	e := &env{t: t, srv: srv, ts: ts, mirror: mirror, client: ts.Client()}
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return e
+}
+
+func (e *env) post(path string, body []byte) (int, []byte, http.Header) {
+	e.t.Helper()
+	resp, err := e.client.Post(e.ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		e.t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		e.t.Fatalf("POST %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+func (e *env) get(path string) (int, []byte) {
+	e.t.Helper()
+	resp, err := e.client.Get(e.ts.URL + path)
+	if err != nil {
+		e.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		e.t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func mustBody(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestServerEndToEndMatchesDirect drives mixed topk / servicevalues /
+// insert / delete / compact traffic through HTTP and asserts every
+// response byte-identical to direct LiveShardedIndex calls applying the
+// same write history to an identically built mirror.
+func TestServerEndToEndMatchesDirect(t *testing.T) {
+	users := testUsers(600, 21)
+	base, feed := users[:400], users[400:]
+	e := newEnv(t, base, Config{Workers: 2, QueueDepth: 32, DefaultTimeout: 30 * time.Second})
+	facs := testFacilities(16, 8, 22)
+	fjs := facilityJSONOf(facs)
+	q := trajcover.Query{Scenario: trajcover.Binary, Psi: 40}
+
+	checkQueries := func(stage string, workers int) {
+		t.Helper()
+		status, body, _ := e.post(PathTopK, mustBody(t, QueryRequest{
+			Facilities: fjs, K: 8, Psi: 40, Workers: workers,
+		}))
+		if status != http.StatusOK {
+			t.Fatalf("%s: topk status %d: %s", stage, status, body)
+		}
+		direct, err := e.mirror.TopKParallelCtx(context.Background(), facs, 8, q, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := MarshalTopKResponse(direct); !bytes.Equal(body, want) {
+			t.Fatalf("%s: topk response differs from direct call\n got: %s\nwant: %s", stage, body, want)
+		}
+
+		status, body, _ = e.post(PathServiceValues, mustBody(t, QueryRequest{
+			Facilities: fjs, Psi: 40, Workers: workers,
+		}))
+		if status != http.StatusOK {
+			t.Fatalf("%s: servicevalues status %d: %s", stage, status, body)
+		}
+		values, err := e.mirror.ServiceValuesCtx(context.Background(), facs, q, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := MarshalValuesResponse(values); !bytes.Equal(body, want) {
+			t.Fatalf("%s: servicevalues response differs from direct call\n got: %s\nwant: %s", stage, body, want)
+		}
+	}
+
+	checkQueries("initial", 0)
+	rng := rand.New(rand.NewSource(23))
+	alive := map[uint32]bool{}
+	for _, u := range base {
+		alive[uint32(u.ID)] = true
+	}
+	for op := 0; op < 120; op++ {
+		if rng.Intn(2) == 0 && len(feed) > 0 {
+			u := feed[0]
+			feed = feed[1:]
+			pts := make([][2]float64, len(u.Points))
+			for i, p := range u.Points {
+				pts[i] = [2]float64{p.X, p.Y}
+			}
+			status, body, _ := e.post(PathInsert, mustBody(t, InsertRequest{ID: uint32(u.ID), Points: pts}))
+			if status != http.StatusOK {
+				t.Fatalf("insert %d: status %d: %s", u.ID, status, body)
+			}
+			if err := e.mirror.Insert(u); err != nil {
+				t.Fatal(err)
+			}
+			var ir InsertResponse
+			if err := json.Unmarshal(body, &ir); err != nil {
+				t.Fatal(err)
+			}
+			if ir.Len != e.mirror.Len() {
+				t.Fatalf("insert %d: len %d, mirror %d", u.ID, ir.Len, e.mirror.Len())
+			}
+			alive[uint32(u.ID)] = true
+		} else {
+			var id uint32
+			for cand := range alive {
+				id = cand
+				break
+			}
+			status, body, _ := e.post(PathDelete, mustBody(t, DeleteRequest{ID: id}))
+			if status != http.StatusOK {
+				t.Fatalf("delete %d: status %d: %s", id, status, body)
+			}
+			found := e.mirror.Delete(trajcover.ID(id))
+			var dr DeleteResponse
+			if err := json.Unmarshal(body, &dr); err != nil {
+				t.Fatal(err)
+			}
+			if dr.Found != found {
+				t.Fatalf("delete %d: found %v, mirror %v", id, dr.Found, found)
+			}
+			delete(alive, id)
+		}
+		if op%20 == 19 {
+			checkQueries(fmt.Sprintf("op %d", op), op%3)
+		}
+		if op == 60 {
+			status, body, _ := e.post(PathCompact, nil)
+			if status != http.StatusOK {
+				t.Fatalf("compact: status %d: %s", status, body)
+			}
+			if err := e.mirror.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			checkQueries("post-compact", 4)
+		}
+	}
+	checkQueries("final", 0)
+
+	// A duplicate insert is a conflict, mirrored by the library error.
+	dupID := uint32(0)
+	for id := range alive {
+		dupID = id
+		break
+	}
+	u := users[dupID]
+	pts := make([][2]float64, len(u.Points))
+	for i, p := range u.Points {
+		pts[i] = [2]float64{p.X, p.Y}
+	}
+	if status, _, _ := e.post(PathInsert, mustBody(t, InsertRequest{ID: dupID, Points: pts})); status != http.StatusConflict {
+		t.Fatalf("duplicate insert: status %d, want 409", status)
+	}
+}
+
+// TestServerPrefixConsistencyUnderConcurrentWrites extends the live
+// prefix-consistency idiom to the HTTP boundary: readers hammer
+// /v1/servicevalues and /v1/topk while a writer applies a scripted
+// insert/delete history; every response must be byte-identical to a
+// fresh build of SOME prefix of that history.
+func TestServerPrefixConsistencyUnderConcurrentWrites(t *testing.T) {
+	users := testUsers(400, 31)
+	base, feed := users[:300], users[300:]
+	e := newEnv(t, base, Config{Workers: 2, QueueDepth: 64, DefaultTimeout: 30 * time.Second})
+	facs := testFacilities(8, 8, 32)
+	fjs := facilityJSONOf(facs)
+	q := trajcover.Query{Scenario: trajcover.Binary, Psi: 40}
+
+	// Scripted history: insert feed[i], then delete a base trajectory,
+	// alternating — 60 writes.
+	type write struct {
+		insert *trajcover.Trajectory
+		delete trajcover.ID
+	}
+	var script []write
+	for i := 0; i < 30; i++ {
+		script = append(script, write{insert: feed[i]}, write{delete: base[i*7].ID})
+	}
+
+	// Allowed answers: one per prefix, from fresh sharded builds.
+	corpus := map[trajcover.ID]*trajcover.Trajectory{}
+	for _, u := range base {
+		corpus[u.ID] = u
+	}
+	shardOpts := trajcover.ShardOptions{
+		Shards: 2, Partitioner: trajcover.HashPartitioner(),
+		Index: trajcover.IndexOptions{Ordering: trajcover.ZOrdering, Beta: 8, Bounds: testBounds},
+	}
+	allowedSV := map[string]int{}
+	allowedTopK := map[string]int{}
+	snapshotPrefix := func(i int) {
+		var all []*trajcover.Trajectory
+		for id := trajcover.ID(0); int(id) < len(users); id++ {
+			if u, ok := corpus[id]; ok {
+				all = append(all, u)
+			}
+		}
+		fresh, err := trajcover.NewShardedIndex(all, shardOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs, err := fresh.ServiceValues(facs, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allowedSV[string(MarshalValuesResponse(vs))] = i
+		top, err := fresh.TopK(facs, 4, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allowedTopK[string(MarshalTopKResponse(top))] = i
+	}
+	snapshotPrefix(0)
+	for i, wr := range script {
+		if wr.insert != nil {
+			corpus[wr.insert.ID] = wr.insert
+		} else {
+			delete(corpus, wr.delete)
+		}
+		snapshotPrefix(i + 1)
+	}
+
+	stop := make(chan struct{})
+	var readerErr error
+	var readerOnce sync.Once
+	var wg sync.WaitGroup
+	reads := make([]int, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var path string
+				var body []byte
+				var allowed map[string]int
+				if reads[r]%2 == 0 {
+					path = PathServiceValues
+					body = mustBody(t, QueryRequest{Facilities: fjs, Psi: 40, Workers: 1})
+					allowed = allowedSV
+				} else {
+					path = PathTopK
+					body = mustBody(t, QueryRequest{Facilities: fjs, K: 4, Psi: 40, Workers: 1})
+					allowed = allowedTopK
+				}
+				resp, err := e.client.Post(e.ts.URL+path, "application/json", bytes.NewReader(body))
+				if err != nil {
+					readerOnce.Do(func() { readerErr = err })
+					return
+				}
+				got, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					readerOnce.Do(func() { readerErr = err })
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					readerOnce.Do(func() { readerErr = fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, got) })
+					return
+				}
+				if _, ok := allowed[string(got)]; !ok {
+					readerOnce.Do(func() { readerErr = fmt.Errorf("%s answer matches no prefix of the write history: %s", path, got) })
+					return
+				}
+				reads[r]++
+				// Yield so the hammering readers cannot starve the writer
+				// on small core counts (see internal/shard/live_test.go).
+				time.Sleep(50 * time.Microsecond)
+			}
+		}(r)
+	}
+
+	for _, wr := range script {
+		if wr.insert != nil {
+			pts := make([][2]float64, len(wr.insert.Points))
+			for i, p := range wr.insert.Points {
+				pts[i] = [2]float64{p.X, p.Y}
+			}
+			status, body, _ := e.post(PathInsert, mustBody(t, InsertRequest{ID: uint32(wr.insert.ID), Points: pts}))
+			if status != http.StatusOK {
+				t.Fatalf("insert %d: status %d: %s", wr.insert.ID, status, body)
+			}
+		} else {
+			status, body, _ := e.post(PathDelete, mustBody(t, DeleteRequest{ID: uint32(wr.delete)}))
+			if status != http.StatusOK {
+				t.Fatalf("delete %d: status %d: %s", wr.delete, status, body)
+			}
+			var dr DeleteResponse
+			if err := json.Unmarshal(body, &dr); err != nil {
+				t.Fatal(err)
+			}
+			if !dr.Found {
+				t.Fatalf("delete %d: not found", wr.delete)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if readerErr != nil {
+		t.Fatal(readerErr)
+	}
+	if reads[0]+reads[1] == 0 {
+		t.Fatal("readers made no progress during the write history")
+	}
+
+	// After the full history, the answer must be the final prefix's.
+	status, got, _ := e.post(PathServiceValues, mustBody(t, QueryRequest{Facilities: fjs, Psi: 40, Workers: 1}))
+	if status != http.StatusOK {
+		t.Fatalf("final servicevalues: status %d", status)
+	}
+	if idx, ok := allowedSV[string(got)]; !ok || idx != len(script) {
+		t.Fatalf("final answer is prefix %d (ok=%v), want %d", idx, ok, len(script))
+	}
+}
+
+// blockWorkers parks n pool workers on a channel and returns once they
+// are all mid-task, plus the release function.
+func blockWorkers(t *testing.T, s *Server, n int) func() {
+	t.Helper()
+	release := make(chan struct{})
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		bt := &task{
+			ctx: context.Background(),
+			run: func(context.Context) response {
+				started <- struct{}{}
+				<-release
+				return response{status: http.StatusOK, body: []byte("{}")}
+			},
+			done: make(chan struct{}),
+		}
+		select {
+		case s.queue <- bt:
+		case <-time.After(5 * time.Second):
+			t.Fatal("could not enqueue blocker")
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker did not pick up blocker")
+		}
+	}
+	return func() { close(release) }
+}
+
+// fillQueue stuffs the admission queue with parked tasks (they never
+// run while the workers are blocked).
+func fillQueue(t *testing.T, s *Server, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ft := &task{
+			ctx:  context.Background(),
+			run:  func(context.Context) response { return response{status: http.StatusOK, body: []byte("{}")} },
+			done: make(chan struct{}),
+		}
+		select {
+		case s.queue <- ft:
+		case <-time.After(5 * time.Second):
+			t.Fatal("could not fill queue")
+		}
+	}
+}
+
+// TestServerAdmissionControl saturates the pool and queue and asserts
+// overflow requests are rejected immediately with 429 + Retry-After —
+// well inside their deadline — and that service resumes once the pool
+// frees up.
+func TestServerAdmissionControl(t *testing.T) {
+	users := testUsers(200, 41)
+	e := newEnv(t, users, Config{Workers: 1, QueueDepth: 1, DefaultTimeout: 10 * time.Second})
+	facs := testFacilities(4, 4, 42)
+	body := mustBody(t, QueryRequest{Facilities: facilityJSONOf(facs), K: 2, Psi: 40})
+
+	releaseWorker := blockWorkers(t, e.srv, 1)
+	fillQueue(t, e.srv, 1)
+
+	start := time.Now()
+	status, respBody, hdr := e.post(PathTopK, body)
+	elapsed := time.Since(start)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("saturated topk: status %d, want 429 (%s)", status, respBody)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("429 took %v; admission must fail fast, not wait out the deadline", elapsed)
+	}
+	if got := e.srv.Stats().Endpoints[PathTopK].Rejected; got < 1 {
+		t.Fatalf("rejected counter = %d, want >= 1", got)
+	}
+
+	releaseWorker()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, _, _ := e.post(PathTopK, body)
+		if status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service did not resume after release: status %d", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerDeadline: a request whose deadline expires while it waits
+// behind a blocked pool is answered 504 at the deadline, the abandoned
+// task is skipped (never runs), and the cancellation-aware executor
+// surfaces context.DeadlineExceeded at the library level too.
+func TestServerDeadline(t *testing.T) {
+	users := testUsers(200, 51)
+	e := newEnv(t, users, Config{Workers: 1, QueueDepth: 8, DefaultTimeout: 10 * time.Second})
+	facs := testFacilities(4, 4, 52)
+
+	release := blockWorkers(t, e.srv, 1)
+	start := time.Now()
+	status, body, _ := e.post(PathTopK, mustBody(t, QueryRequest{
+		Facilities: facilityJSONOf(facs), K: 2, Psi: 40, TimeoutMS: 150,
+	}))
+	elapsed := time.Since(start)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("queued-past-deadline topk: status %d (%s), want 504", status, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Fatalf("504 body %q does not name the deadline", body)
+	}
+	if elapsed < 100*time.Millisecond || elapsed > 8*time.Second {
+		t.Fatalf("504 arrived after %v, want ~150ms", elapsed)
+	}
+	if got := e.srv.Stats().Endpoints[PathTopK].DeadlineExceeded; got < 1 {
+		t.Fatalf("deadline counter = %d, want >= 1", got)
+	}
+	release()
+
+	// The executor itself reports DeadlineExceeded on an expired ctx —
+	// the contract the 504 mapping stands on.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	q := trajcover.Query{Scenario: trajcover.Binary, Psi: 40}
+	if _, err := e.srv.Index().TopKCtx(ctx, facs, 2, q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TopKCtx(expired) err = %v, want DeadlineExceeded", err)
+	}
+	if _, err := e.srv.Index().ServiceValuesCtx(ctx, facs, q, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ServiceValuesCtx(expired) err = %v, want DeadlineExceeded", err)
+	}
+	if _, err := e.srv.Index().TopKParallelCtx(ctx, facs, 2, q, 4); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("TopKParallelCtx(expired) err = %v, want DeadlineExceeded", err)
+	}
+
+	// And service resumes.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, _, _ := e.post(PathTopK, mustBody(t, QueryRequest{Facilities: facilityJSONOf(facs), K: 2, Psi: 40}))
+		if status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service did not resume: status %d", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerRejectsBadRequests pins the 4xx surface of the decoder and
+// transport limits.
+func TestServerRejectsBadRequests(t *testing.T) {
+	users := testUsers(100, 61)
+	e := newEnv(t, users, Config{Workers: 1, QueueDepth: 4, MaxBodyBytes: 512})
+
+	cases := []struct {
+		name string
+		path string
+		body string
+		want int
+	}{
+		{"malformed json", PathTopK, `{"facilities":`, http.StatusBadRequest},
+		{"k zero", PathTopK, `{"facilities":[{"id":1,"stops":[[1,2]]}],"k":0,"psi":10}`, http.StatusBadRequest},
+		{"k negative", PathTopK, `{"facilities":[{"id":1,"stops":[[1,2]]}],"k":-4,"psi":10}`, http.StatusBadRequest},
+		{"psi negative", PathTopK, `{"facilities":[{"id":1,"stops":[[1,2]]}],"k":1,"psi":-1}`, http.StatusBadRequest},
+		{"nan literal", PathTopK, `{"facilities":[{"id":1,"stops":[[NaN,2]]}],"k":1,"psi":10}`, http.StatusBadRequest},
+		{"overflow number", PathTopK, `{"facilities":[{"id":1,"stops":[[1e999,2]]}],"k":1,"psi":10}`, http.StatusBadRequest},
+		{"facility without stops", PathTopK, `{"facilities":[{"id":1,"stops":[]}],"k":1,"psi":10}`, http.StatusBadRequest},
+		{"bogus scenario", PathServiceValues, `{"facilities":[{"id":1,"stops":[[1,2]]}],"scenario":"nope","psi":10}`, http.StatusBadRequest},
+		{"negative timeout", PathServiceValues, `{"facilities":[{"id":1,"stops":[[1,2]]}],"psi":10,"timeout_ms":-5}`, http.StatusBadRequest},
+		{"one-point trajectory", PathInsert, `{"id":9001,"points":[[1,2]]}`, http.StatusBadRequest},
+		{"insert nan", PathInsert, `{"id":9001,"points":[[1,2],[3,NaN]]}`, http.StatusBadRequest},
+		{"unknown field (typoed timeout)", PathTopK, `{"facilities":[{"id":1,"stops":[[1,2]]}],"k":1,"psi":10,"timeoutms":50}`, http.StatusBadRequest},
+		{"trailing data", PathDelete, `{"id":1}{"id":2}`, http.StatusBadRequest},
+		{"oversized body", PathTopK, `{"filler":"` + strings.Repeat("x", 2048) + `"}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, _ := e.post(tc.path, []byte(tc.body))
+			if status != tc.want {
+				t.Fatalf("status %d (%s), want %d", status, body, tc.want)
+			}
+		})
+	}
+
+	resp, err := e.client.Get(e.ts.URL + PathTopK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET topk: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerSnapshotRoundTrip streams /v1/snapshot and restores it:
+// the restored index must answer byte-identically to the served one.
+func TestServerSnapshotRoundTrip(t *testing.T) {
+	users := testUsers(300, 71)
+	e := newEnv(t, users[:250], Config{Workers: 1, QueueDepth: 8})
+	facs := testFacilities(8, 6, 72)
+	q := trajcover.Query{Scenario: trajcover.Binary, Psi: 40}
+
+	// Leave pending churn in the epochs so the snapshot carries delta
+	// and tombstones, not just a frozen base.
+	for _, u := range users[250:] {
+		pts := make([][2]float64, len(u.Points))
+		for i, p := range u.Points {
+			pts[i] = [2]float64{p.X, p.Y}
+		}
+		if status, body, _ := e.post(PathInsert, mustBody(t, InsertRequest{ID: uint32(u.ID), Points: pts})); status != http.StatusOK {
+			t.Fatalf("insert: %d %s", status, body)
+		}
+	}
+	if status, _, _ := e.post(PathDelete, mustBody(t, DeleteRequest{ID: 3})); status != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+
+	status, raw := e.get(PathSnapshot)
+	if status != http.StatusOK {
+		t.Fatalf("snapshot: status %d", status)
+	}
+	restored, err := trajcover.ReadLiveSnapshot(bytes.NewReader(raw), trajcover.LivePolicy{Manual: true})
+	if err != nil {
+		t.Fatalf("restore streamed snapshot: %v", err)
+	}
+	if restored.Len() != e.srv.Index().Len() {
+		t.Fatalf("restored len %d, served %d", restored.Len(), e.srv.Index().Len())
+	}
+	want, err := e.srv.Index().ServiceValues(facs, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.ServiceValues(facs, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(MarshalValuesResponse(got), MarshalValuesResponse(want)) {
+		t.Fatal("restored snapshot answers differ from served index")
+	}
+}
+
+// TestServerStatsAndHealth exercises /healthz and /statsz before and
+// during drain.
+func TestServerStatsAndHealth(t *testing.T) {
+	users := testUsers(150, 81)
+	e := newEnv(t, users, Config{Workers: 2, QueueDepth: 8})
+	facs := testFacilities(4, 4, 82)
+
+	if status, body := e.get(PathHealth); status != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+	for i := 0; i < 3; i++ {
+		if status, _, _ := e.post(PathTopK, mustBody(t, QueryRequest{Facilities: facilityJSONOf(facs), K: 2, Psi: 40})); status != http.StatusOK {
+			t.Fatalf("topk warmup: %d", status)
+		}
+	}
+	status, body := e.get(PathStats)
+	if status != http.StatusOK {
+		t.Fatalf("statsz: %d", status)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statsz decode: %v", err)
+	}
+	if st.Workers != 2 || st.QueueCap != 8 {
+		t.Fatalf("statsz config: %+v", st)
+	}
+	tk := st.Endpoints[PathTopK]
+	if tk.Requests < 3 || tk.MeanMillis <= 0 || tk.MaxMillis < tk.MeanMillis {
+		t.Fatalf("statsz topk counters: %+v", tk)
+	}
+	if st.Index.Len != e.srv.Index().Len() || st.Index.Shards != 2 {
+		t.Fatalf("statsz index: %+v", st.Index)
+	}
+
+	e.srv.BeginDrain()
+	if status, _ := e.get(PathHealth); status != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d, want 503", status)
+	}
+	if status, _, _ := e.post(PathTopK, mustBody(t, QueryRequest{Facilities: facilityJSONOf(facs), K: 2, Psi: 40})); status != http.StatusServiceUnavailable {
+		t.Fatalf("draining topk: %d, want 503", status)
+	}
+	if status, _ := e.get(PathSnapshot); status != http.StatusServiceUnavailable {
+		t.Fatalf("draining snapshot: %d, want 503", status)
+	}
+}
+
+// TestServerDrainLeavesNoGoroutines proves the shutdown protocol sheds
+// every goroutine the serving stack started: after drain + HTTP close +
+// pool Close, the process goroutine count returns to its baseline.
+func TestServerDrainLeavesNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	users := testUsers(200, 91)
+	idx, err := trajcover.NewLiveShardedIndex(users, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx, Config{Workers: 4, QueueDepth: 8, DefaultTimeout: 10 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	facs := testFacilities(4, 4, 92)
+	body := mustBody(t, QueryRequest{Facilities: facilityJSONOf(facs), K: 2, Psi: 40})
+	for i := 0; i < 8; i++ {
+		resp, err := client.Post(ts.URL+PathTopK, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	srv.BeginDrain()
+	ts.Close()
+	srv.Close()
+	client.CloseIdleConnections()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A straggler handler that somehow outlives the HTTP shutdown gets
+	// 503 from the closed pool, never a send-on-closed-channel panic.
+	if ok, err := srv.enqueue(&task{ctx: context.Background(), done: make(chan struct{})}); ok || err == nil {
+		t.Fatalf("enqueue after Close = (%v, %v), want (false, error)", ok, err)
+	}
+}

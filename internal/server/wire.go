@@ -1,0 +1,298 @@
+package server
+
+// The JSON wire format of the tqserve front end, and its hardened
+// decoder. Every byte that arrives on /v1/* passes through DecodeRequest
+// before it can reach the index: the decoder rejects malformed JSON,
+// non-finite coordinates, non-positive k, out-of-range sizes, and
+// anything else that could panic or wedge a worker — with a 4xx-mapped
+// error, never a panic (FuzzDecodeRequest holds it to that).
+//
+// Numbers cross the wire as JSON float64. Go's encoder emits the
+// shortest representation that round-trips, so a facility posted from
+// decoded responses reproduces the original coordinates bit-exactly and
+// answers stay byte-identical to direct library calls — the property the
+// end-to-end tests pin.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	trajcover "github.com/trajcover/trajcover"
+)
+
+// Decoder limits. Bodies are already capped by Config.MaxBodyBytes at
+// the transport; these bound the decoded shapes so a small body cannot
+// expand into a huge allocation or a quadratic validation pass.
+const (
+	// MaxFacilities bounds the facilities of one query request.
+	MaxFacilities = 1 << 16
+	// MaxStops bounds the stops of one facility.
+	MaxStops = 1 << 14
+	// MaxPoints bounds the points of one inserted trajectory.
+	MaxPoints = 1 << 16
+	// MaxK bounds a top-k request's k.
+	MaxK = 1 << 20
+	// MaxRequestWorkers caps the per-request worker hint; the effective
+	// pool is further normalized by query.ResolveWorkers.
+	MaxRequestWorkers = 256
+)
+
+// badRequest is a decoder/validation failure, mapped to 400.
+type badRequest struct{ msg string }
+
+func (e *badRequest) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &badRequest{msg: fmt.Sprintf(format, args...)}
+}
+
+// FacilityJSON is one candidate facility on the wire.
+type FacilityJSON struct {
+	ID    uint32       `json:"id"`
+	Stops [][2]float64 `json:"stops"`
+}
+
+// QueryRequest is the body of /v1/topk and /v1/servicevalues.
+type QueryRequest struct {
+	Facilities []FacilityJSON `json:"facilities"`
+	// K is the number of results (topk only; ignored by servicevalues).
+	K int `json:"k,omitempty"`
+	// Scenario selects the service semantics: "binary" (default),
+	// "pointcount", or "length".
+	Scenario string `json:"scenario,omitempty"`
+	// Psi is the serving distance threshold ψ (data units, >= 0).
+	Psi float64 `json:"psi"`
+	// Workers hints the per-request parallelism. 0 (the default) means
+	// serial — one worker-pool slot does one request's work, and
+	// concurrency comes from the pool itself, so Config.Workers stays
+	// the bound on query CPU. Values above 1 let a single request fan
+	// out (at most MaxRequestWorkers), trading pool fairness for that
+	// request's latency.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS overrides the server's default per-request deadline,
+	// capped at Config.MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// InsertRequest is the body of /v1/insert.
+type InsertRequest struct {
+	ID        uint32       `json:"id"`
+	Points    [][2]float64 `json:"points"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// DeleteRequest is the body of /v1/delete.
+type DeleteRequest struct {
+	ID        uint32 `json:"id"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// RankedJSON is one facility of a top-k answer on the wire.
+type RankedJSON struct {
+	ID      uint32  `json:"id"`
+	Service float64 `json:"service"`
+}
+
+// TopKResponse is the body of a /v1/topk answer.
+type TopKResponse struct {
+	Results []RankedJSON `json:"results"`
+}
+
+// ValuesResponse is the body of a /v1/servicevalues answer, indexed like
+// the request's facilities.
+type ValuesResponse struct {
+	Values []float64 `json:"values"`
+}
+
+// InsertResponse reports the post-insert logical corpus size.
+type InsertResponse struct {
+	Len int `json:"len"`
+}
+
+// DeleteResponse reports whether the trajectory was present.
+type DeleteResponse struct {
+	Found bool `json:"found"`
+}
+
+// CompactResponse acknowledges a completed fold.
+type CompactResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseScenario maps the wire name to a Scenario; "" means Binary.
+func parseScenario(s string) (trajcover.Scenario, error) {
+	switch s {
+	case "", "binary":
+		return trajcover.Binary, nil
+	case "pointcount":
+		return trajcover.PointCount, nil
+	case "length":
+		return trajcover.Length, nil
+	}
+	return 0, badRequestf("unknown scenario %q (want binary, pointcount, or length)", s)
+}
+
+// finite rejects the NaN/Inf coordinates a lenient client (or an
+// attacker) could smuggle in; geometry over non-finite values corrupts
+// every bound the search prunes by.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// unmarshalStrict decodes with unknown fields and trailing data
+// rejected: a typoed field ("timeoutms", "worker") must be a loud 400,
+// not a silently applied server default.
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequestf("bad request body: %v", err)
+	}
+	if dec.More() {
+		return badRequestf("bad request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+func decodeFacilities(fjs []FacilityJSON) ([]*trajcover.Facility, error) {
+	if len(fjs) > MaxFacilities {
+		return nil, badRequestf("too many facilities: %d > %d", len(fjs), MaxFacilities)
+	}
+	out := make([]*trajcover.Facility, len(fjs))
+	for i, fj := range fjs {
+		if len(fj.Stops) == 0 {
+			return nil, badRequestf("facility %d has no stops", fj.ID)
+		}
+		if len(fj.Stops) > MaxStops {
+			return nil, badRequestf("facility %d has too many stops: %d > %d", fj.ID, len(fj.Stops), MaxStops)
+		}
+		stops := make([]trajcover.Point, len(fj.Stops))
+		for j, st := range fj.Stops {
+			if !finite(st[0]) || !finite(st[1]) {
+				return nil, badRequestf("facility %d stop %d is not finite", fj.ID, j)
+			}
+			stops[j] = trajcover.Pt(st[0], st[1])
+		}
+		f, err := trajcover.NewFacility(trajcover.ID(fj.ID), stops)
+		if err != nil {
+			return nil, badRequestf("facility %d: %v", fj.ID, err)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// DecodeQueryRequest parses and validates a /v1/topk (needK) or
+// /v1/servicevalues body. Any error is a 4xx: the decoder never panics
+// and never lets a non-finite, oversized, or non-positive-k request
+// through to the index.
+func DecodeQueryRequest(data []byte, needK bool) (*QueryRequest, []*trajcover.Facility, trajcover.Query, error) {
+	var req QueryRequest
+	if err := unmarshalStrict(data, &req); err != nil {
+		return nil, nil, trajcover.Query{}, err
+	}
+	if needK && req.K <= 0 {
+		return nil, nil, trajcover.Query{}, badRequestf("k must be >= 1, got %d", req.K)
+	}
+	if req.K > MaxK {
+		return nil, nil, trajcover.Query{}, badRequestf("k too large: %d > %d", req.K, MaxK)
+	}
+	sc, err := parseScenario(req.Scenario)
+	if err != nil {
+		return nil, nil, trajcover.Query{}, err
+	}
+	if !finite(req.Psi) || req.Psi < 0 {
+		return nil, nil, trajcover.Query{}, badRequestf("psi must be finite and >= 0, got %v", req.Psi)
+	}
+	// 0 or negative normalizes to 1, NOT to the library's GOMAXPROCS
+	// default: a request must not widen past what it asked for, or the
+	// bounded pool stops bounding CPU (admission control assumes one
+	// slot ≈ one goroutine's worth of query work).
+	if req.Workers < 1 {
+		req.Workers = 1
+	}
+	if req.Workers > MaxRequestWorkers {
+		req.Workers = MaxRequestWorkers
+	}
+	if req.TimeoutMS < 0 {
+		return nil, nil, trajcover.Query{}, badRequestf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
+	}
+	facs, err := decodeFacilities(req.Facilities)
+	if err != nil {
+		return nil, nil, trajcover.Query{}, err
+	}
+	return &req, facs, trajcover.Query{Scenario: sc, Psi: req.Psi}, nil
+}
+
+// DecodeInsertRequest parses and validates a /v1/insert body.
+func DecodeInsertRequest(data []byte) (*InsertRequest, *trajcover.Trajectory, error) {
+	var req InsertRequest
+	if err := unmarshalStrict(data, &req); err != nil {
+		return nil, nil, err
+	}
+	if req.TimeoutMS < 0 {
+		return nil, nil, badRequestf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
+	}
+	if len(req.Points) > MaxPoints {
+		return nil, nil, badRequestf("too many points: %d > %d", len(req.Points), MaxPoints)
+	}
+	pts := make([]trajcover.Point, len(req.Points))
+	for i, p := range req.Points {
+		if !finite(p[0]) || !finite(p[1]) {
+			return nil, nil, badRequestf("point %d is not finite", i)
+		}
+		pts[i] = trajcover.Pt(p[0], p[1])
+	}
+	u, err := trajcover.NewTrajectory(trajcover.ID(req.ID), pts)
+	if err != nil {
+		return nil, nil, badRequestf("trajectory %d: %v", req.ID, err)
+	}
+	return &req, u, nil
+}
+
+// DecodeDeleteRequest parses and validates a /v1/delete body.
+func DecodeDeleteRequest(data []byte) (*DeleteRequest, error) {
+	var req DeleteRequest
+	if err := unmarshalStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if req.TimeoutMS < 0 {
+		return nil, badRequestf("timeout_ms must be >= 0, got %d", req.TimeoutMS)
+	}
+	return &req, nil
+}
+
+// MarshalTopKResponse encodes a top-k answer exactly as the handler
+// does — exported so tests (and clients embedded in the bench harness)
+// can assert byte identity against direct library calls.
+func MarshalTopKResponse(results []trajcover.Ranked) []byte {
+	out := TopKResponse{Results: make([]RankedJSON, len(results))}
+	for i, r := range results {
+		out.Results[i] = RankedJSON{ID: uint32(r.Facility.ID), Service: r.Service}
+	}
+	return mustMarshal(out)
+}
+
+// MarshalValuesResponse encodes a servicevalues answer exactly as the
+// handler does.
+func MarshalValuesResponse(values []float64) []byte {
+	return mustMarshal(ValuesResponse{Values: values})
+}
+
+// mustMarshal encodes values whose shapes cannot fail (no NaN floats
+// reach a response: inputs were validated finite and service sums of
+// finite inputs stay finite).
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("server: marshal response: %v", err))
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package server
+
+// Fuzzing the request decoders: whatever bytes arrive on /v1/*, the
+// decoder must either return a 4xx-mapped error or a fully validated
+// request — never panic, never let non-finite geometry, non-positive k,
+// or oversized shapes through (mirrors snapshot_fuzz_test.go's contract
+// for the snapshot readers).
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		`{"facilities":[{"id":1,"stops":[[500,500],[800,300]]}],"k":8,"scenario":"binary","psi":300}`,
+		`{"facilities":[{"id":1,"stops":[[0,0]]}],"scenario":"pointcount","psi":0,"workers":4,"timeout_ms":250}`,
+		`{"facilities":[],"k":1,"psi":1}`,
+		`{"facilities":[{"id":4294967295,"stops":[[1e308,-1e308]]}],"k":1,"psi":1e308}`,
+		`{"id":9001,"points":[[1,2],[3,4],[5,6]]}`,
+		`{"id":9001,"points":[[1,2]]}`,
+		`{"id":7}`,
+		`{"facilities":[{"id":1,"stops":[[NaN,2]]}],"k":1,"psi":10}`,
+		`{"facilities":[{"id":1,"stops":[[1e999,2]]}],"k":1,"psi":10}`,
+		`{"k":-1,"psi":-5}`,
+		`{"facilities":[{"id":1,"stops":[[1,2]]}],"k":1,"psi":10,"timeout_ms":-9}`,
+		`[]`, `null`, `{}`, `{"facilities":`, "\x00\x01\x02", strings.Repeat(`{"a":`, 1000),
+	}
+	for _, s := range seeds {
+		for kind := byte(0); kind < 3; kind++ {
+			f.Add(kind, []byte(s))
+		}
+	}
+	f.Fuzz(func(t *testing.T, kind byte, data []byte) {
+		switch kind % 3 {
+		case 0:
+			req, facs, q, err := DecodeQueryRequest(data, true)
+			if err != nil {
+				requireBadRequest(t, err)
+				return
+			}
+			if req.K <= 0 || req.K > MaxK {
+				t.Fatalf("accepted k=%d", req.K)
+			}
+			if req.Workers < 1 || req.Workers > MaxRequestWorkers {
+				t.Fatalf("accepted workers=%d (must normalize to [1, %d] so the pool bounds CPU)", req.Workers, MaxRequestWorkers)
+			}
+			if req.TimeoutMS < 0 {
+				t.Fatalf("accepted timeout_ms=%d", req.TimeoutMS)
+			}
+			if math.IsNaN(q.Psi) || math.IsInf(q.Psi, 0) || q.Psi < 0 {
+				t.Fatalf("accepted psi=%v", q.Psi)
+			}
+			if len(facs) > MaxFacilities {
+				t.Fatalf("accepted %d facilities", len(facs))
+			}
+			for _, fac := range facs {
+				if len(fac.Stops) == 0 || len(fac.Stops) > MaxStops {
+					t.Fatalf("accepted facility with %d stops", len(fac.Stops))
+				}
+				for _, st := range fac.Stops {
+					if !finite(st.X) || !finite(st.Y) {
+						t.Fatalf("accepted non-finite stop %+v", st)
+					}
+				}
+			}
+		case 1:
+			req, u, err := DecodeInsertRequest(data)
+			if err != nil {
+				requireBadRequest(t, err)
+				return
+			}
+			if req.TimeoutMS < 0 {
+				t.Fatalf("accepted timeout_ms=%d", req.TimeoutMS)
+			}
+			if u.Len() < 2 || u.Len() > MaxPoints {
+				t.Fatalf("accepted trajectory with %d points", u.Len())
+			}
+			for _, p := range u.Points {
+				if !finite(p.X) || !finite(p.Y) {
+					t.Fatalf("accepted non-finite point %+v", p)
+				}
+			}
+		case 2:
+			req, err := DecodeDeleteRequest(data)
+			if err != nil {
+				requireBadRequest(t, err)
+				return
+			}
+			if req.TimeoutMS < 0 {
+				t.Fatalf("accepted timeout_ms=%d", req.TimeoutMS)
+			}
+		}
+	})
+}
+
+// requireBadRequest pins every decoder failure to the 4xx-mapped type —
+// a decoder error must never surface as a 5xx.
+func requireBadRequest(t *testing.T, err error) {
+	t.Helper()
+	if _, ok := err.(*badRequest); !ok {
+		t.Fatalf("decoder error %v (%T) is not a badRequest", err, err)
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trajcover/trajcover/internal/geo"
@@ -139,10 +140,17 @@ func (f *Frozen) ServiceValue(fac *trajectory.Facility, p Params) (float64, quer
 // scattering the batch to every shard and summing per-shard answers in
 // shard order; the output is indexed like facilities and deterministic.
 func (f *Frozen) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, query.Metrics, error) {
+	return f.ServiceValuesCtx(nil, facilities, p, workers)
+}
+
+// ServiceValuesCtx is ServiceValues with cooperative cancellation: every
+// per-shard batch polls ctx between facilities, returning ctx.Err()
+// instead of an answer once the context is done.
+func (f *Frozen) ServiceValuesCtx(ctx context.Context, facilities []*trajectory.Facility, p Params, workers int) ([]float64, query.Metrics, error) {
 	var m query.Metrics
 	out := make([]float64, len(facilities))
 	for _, e := range f.engines {
-		vs, sm, err := e.ServiceValues(facilities, p, workers)
+		vs, sm, err := e.ServiceValuesCtx(ctx, facilities, p, workers)
 		if err != nil {
 			return nil, m, err
 		}
@@ -165,6 +173,13 @@ func (f *Frozen) newExploration(i int, fac *trajectory.Facility, p Params) (quer
 // TopK answers kMaxRRST over all frozen shards by scatter-gather, best
 // first — the same merge as Sharded.TopK over the columnar layout.
 func (f *Frozen) TopK(facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
+	return f.TopKCtx(nil, facilities, k, p)
+}
+
+// TopKCtx is TopK with cooperative cancellation: the scatter-gather
+// merge polls ctx between facility relaxations and returns ctx.Err()
+// instead of an answer once the context is done.
+func (f *Frozen) TopKCtx(ctx context.Context, facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
 	var m query.Metrics
 	if err := f.validate(p); err != nil {
 		return nil, m, err
@@ -173,15 +188,24 @@ func (f *Frozen) TopK(facilities []*trajectory.Facility, k int, p Params) ([]que
 	if err != nil || k == 0 {
 		return nil, m, err
 	}
-	return mergeTopK(h, k, &m), m, nil
+	res, err := mergeTopK(ctx, h, k, &m)
+	return res, m, err
 }
 
 // TopKParallel is TopK with up to `workers` facility relaxations run
-// concurrently per round; the answer is identical to TopK.
+// concurrently per round; the answer is identical to TopK. workers is
+// normalized by query.ResolveWorkers; a single-worker pool falls back to
+// the serial TopK.
 func (f *Frozen) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
-	workers = resolveTopKWorkers(workers, len(facilities))
+	return f.TopKParallelCtx(nil, facilities, k, p, workers)
+}
+
+// TopKParallelCtx is TopKParallel with cooperative cancellation, checked
+// between relaxation rounds.
+func (f *Frozen) TopKParallelCtx(ctx context.Context, facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
+	workers = query.ResolveWorkers(workers, len(facilities))
 	if workers <= 1 {
-		return f.TopK(facilities, k, p)
+		return f.TopKCtx(ctx, facilities, k, p)
 	}
 	var m query.Metrics
 	if err := f.validate(p); err != nil {
@@ -191,5 +215,6 @@ func (f *Frozen) TopKParallel(facilities []*trajectory.Facility, k int, p Params
 	if err != nil || k == 0 {
 		return nil, m, err
 	}
-	return mergeTopKParallel(h, k, workers, &m), m, nil
+	res, err := mergeTopKParallel(ctx, h, k, workers, &m)
+	return res, m, err
 }

@@ -31,6 +31,7 @@ package shard
 // subtlety that makes writes-during-rebuild linearizable.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -610,11 +611,20 @@ func (l *Live) ServiceValue(fac *trajectory.Facility, p Params) (float64, query.
 // scattering the batch to every shard's epoch and summing per-shard
 // answers in shard order; the output is indexed like facilities.
 func (l *Live) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, query.Metrics, error) {
+	return l.ServiceValuesCtx(nil, facilities, p, workers)
+}
+
+// ServiceValuesCtx is ServiceValues with cooperative cancellation: every
+// per-epoch batch polls ctx between facilities and the fold checks it
+// between epochs, returning ctx.Err() instead of an answer once the
+// context is done. The whole batch still answers over one write-
+// consistent epoch capture.
+func (l *Live) ServiceValuesCtx(ctx context.Context, facilities []*trajectory.Facility, p Params, workers int) ([]float64, query.Metrics, error) {
 	eps := l.Epochs()
 	var m query.Metrics
 	out := make([]float64, len(facilities))
 	for _, ep := range eps {
-		vs, sm, err := ep.ServiceValues(facilities, p, workers)
+		vs, sm, err := ep.ServiceValuesCtx(ctx, facilities, p, workers)
 		if err != nil {
 			return nil, m, err
 		}
@@ -630,6 +640,13 @@ func (l *Live) ServiceValues(facilities []*trajectory.Facility, p Params, worker
 // first — the same merge as Sharded/Frozen over a captured epoch set,
 // so a query is unaffected by swaps that land while it runs.
 func (l *Live) TopK(facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
+	return l.TopKCtx(nil, facilities, k, p)
+}
+
+// TopKCtx is TopK with cooperative cancellation: the scatter-gather
+// merge polls ctx between facility relaxations and returns ctx.Err()
+// instead of an answer once the context is done.
+func (l *Live) TopKCtx(ctx context.Context, facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
 	eps := l.Epochs()
 	var m query.Metrics
 	if err := validateEpochs(eps, p); err != nil {
@@ -639,15 +656,24 @@ func (l *Live) TopK(facilities []*trajectory.Facility, k int, p Params) ([]query
 	if err != nil || k == 0 {
 		return nil, m, err
 	}
-	return mergeTopK(h, k, &m), m, nil
+	res, err := mergeTopK(ctx, h, k, &m)
+	return res, m, err
 }
 
 // TopKParallel is TopK with up to `workers` facility relaxations run
-// concurrently per round; the answer is identical to TopK.
+// concurrently per round; the answer is identical to TopK. workers is
+// normalized by query.ResolveWorkers; a single-worker pool falls back to
+// the serial TopK.
 func (l *Live) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
-	workers = resolveTopKWorkers(workers, len(facilities))
+	return l.TopKParallelCtx(nil, facilities, k, p, workers)
+}
+
+// TopKParallelCtx is TopKParallel with cooperative cancellation, checked
+// between relaxation rounds.
+func (l *Live) TopKParallelCtx(ctx context.Context, facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
+	workers = query.ResolveWorkers(workers, len(facilities))
 	if workers <= 1 {
-		return l.TopK(facilities, k, p)
+		return l.TopKCtx(ctx, facilities, k, p)
 	}
 	eps := l.Epochs()
 	var m query.Metrics
@@ -658,5 +684,6 @@ func (l *Live) TopKParallel(facilities []*trajectory.Facility, k int, p Params, 
 	if err != nil || k == 0 {
 		return nil, m, err
 	}
-	return mergeTopKParallel(h, k, workers, &m), m, nil
+	res, err := mergeTopKParallel(ctx, h, k, workers, &m)
+	return res, m, err
 }

@@ -15,6 +15,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -301,10 +302,17 @@ func (s *Sharded) ServiceValue(f *trajectory.Facility, p Params) (float64, query
 // shard order. Each shard's batch runs on the shared worker budget; the
 // output is indexed like facilities and deterministic.
 func (s *Sharded) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, query.Metrics, error) {
+	return s.ServiceValuesCtx(nil, facilities, p, workers)
+}
+
+// ServiceValuesCtx is ServiceValues with cooperative cancellation: every
+// per-shard batch polls ctx between facilities, returning ctx.Err()
+// instead of an answer once the context is done.
+func (s *Sharded) ServiceValuesCtx(ctx context.Context, facilities []*trajectory.Facility, p Params, workers int) ([]float64, query.Metrics, error) {
 	var m query.Metrics
 	out := make([]float64, len(facilities))
 	for _, sh := range s.shards {
-		vs, sm, err := sh.engine.ServiceValues(facilities, p, workers)
+		vs, sm, err := sh.engine.ServiceValuesCtx(ctx, facilities, p, workers)
 		if err != nil {
 			return nil, m, err
 		}

@@ -2,7 +2,7 @@ package shard
 
 import (
 	"container/heap"
-	"runtime"
+	"context"
 	"sync"
 
 	"github.com/trajcover/trajcover/internal/query"
@@ -145,10 +145,15 @@ func seedHeap(s explorerSeeder, facilities []*trajectory.Facility, k int, p Para
 }
 
 // mergeTopK drains the global heap best first, emitting a facility only
-// when every shard's optimistic remainder is zero.
-func mergeTopK(h *facHeap, k int, m *query.Metrics) []query.Result {
+// when every shard's optimistic remainder is zero. ctx (nil means
+// "never") is polled between relaxations via query.CtxErr; a done
+// context aborts the merge with its error and no partial answer.
+func mergeTopK(ctx context.Context, h *facHeap, k int, m *query.Metrics) ([]query.Result, error) {
 	results := make([]query.Result, 0, k)
 	for h.Len() > 0 && len(results) < k {
+		if err := query.CtxErr(ctx); err != nil {
+			return nil, err
+		}
 		fs := heap.Pop(h).(*facState)
 		if fs.done() {
 			results = append(results, query.Result{Facility: fs.fac, Service: fs.exact})
@@ -157,7 +162,7 @@ func mergeTopK(h *facHeap, k int, m *query.Metrics) []query.Result {
 		fs.relax(m)
 		heap.Push(h, fs)
 	}
-	return results
+	return results, nil
 }
 
 // mergeTopKParallel is mergeTopK with up to `workers` facility
@@ -166,11 +171,17 @@ func mergeTopK(h *facHeap, k int, m *query.Metrics) []query.Result {
 // under queries, so the batch shares no mutable state). Results are
 // identical to mergeTopK; the speculative extra relaxations buy
 // wall-clock time, exactly as in the single-tree executor.
-func mergeTopKParallel(h *facHeap, k, workers int, m *query.Metrics) []query.Result {
+func mergeTopKParallel(ctx context.Context, h *facHeap, k, workers int, m *query.Metrics) ([]query.Result, error) {
 	results := make([]query.Result, 0, k)
 	batch := make([]*facState, 0, workers)
 	perWorker := make([]query.Metrics, workers)
 	for h.Len() > 0 && len(results) < k {
+		if err := query.CtxErr(ctx); err != nil {
+			for _, wm := range perWorker {
+				m.Add(wm)
+			}
+			return nil, err
+		}
 		fs := heap.Pop(h).(*facState)
 		if fs.done() {
 			results = append(results, query.Result{Facility: fs.fac, Service: fs.exact})
@@ -206,20 +217,7 @@ func mergeTopKParallel(h *facHeap, k, workers int, m *query.Metrics) []query.Res
 	for _, wm := range perWorker {
 		m.Add(wm)
 	}
-	return results
-}
-
-// resolveTopKWorkers maps a workers argument to an effective batch
-// width: non-positive means GOMAXPROCS, and a round never relaxes more
-// states than there are facilities.
-func resolveTopKWorkers(workers, facilities int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > facilities {
-		workers = facilities
-	}
-	return workers
+	return results, nil
 }
 
 // numShards implements explorerSeeder.
@@ -235,6 +233,13 @@ func (s *Sharded) newExploration(i int, f *trajectory.Facility, p Params) (query
 // single-tree TopK (exactly for integral scenarios such as Binary; up to
 // floating-point summation order otherwise).
 func (s *Sharded) TopK(facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
+	return s.TopKCtx(nil, facilities, k, p)
+}
+
+// TopKCtx is TopK with cooperative cancellation: the scatter-gather
+// merge polls ctx between facility relaxations and returns ctx.Err()
+// instead of an answer once the context is done.
+func (s *Sharded) TopKCtx(ctx context.Context, facilities []*trajectory.Facility, k int, p Params) ([]query.Result, query.Metrics, error) {
 	var m query.Metrics
 	if err := s.validate(p); err != nil {
 		return nil, m, err
@@ -243,16 +248,24 @@ func (s *Sharded) TopK(facilities []*trajectory.Facility, k int, p Params) ([]qu
 	if err != nil || k == 0 {
 		return nil, m, err
 	}
-	return mergeTopK(h, k, &m), m, nil
+	res, err := mergeTopK(ctx, h, k, &m)
+	return res, m, err
 }
 
 // TopKParallel is TopK with up to `workers` facility relaxations run
-// concurrently per round; the answer is identical to TopK. workers <= 1
-// falls back to the serial TopK.
+// concurrently per round; the answer is identical to TopK. workers is
+// normalized by query.ResolveWorkers; a single-worker pool falls back to
+// the serial TopK.
 func (s *Sharded) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
-	workers = resolveTopKWorkers(workers, len(facilities))
+	return s.TopKParallelCtx(nil, facilities, k, p, workers)
+}
+
+// TopKParallelCtx is TopKParallel with cooperative cancellation, checked
+// between relaxation rounds.
+func (s *Sharded) TopKParallelCtx(ctx context.Context, facilities []*trajectory.Facility, k int, p Params, workers int) ([]query.Result, query.Metrics, error) {
+	workers = query.ResolveWorkers(workers, len(facilities))
 	if workers <= 1 {
-		return s.TopK(facilities, k, p)
+		return s.TopKCtx(ctx, facilities, k, p)
 	}
 	var m query.Metrics
 	if err := s.validate(p); err != nil {
@@ -262,5 +275,6 @@ func (s *Sharded) TopKParallel(facilities []*trajectory.Facility, k int, p Param
 	if err != nil || k == 0 {
 		return nil, m, err
 	}
-	return mergeTopKParallel(h, k, workers, &m), m, nil
+	res, err := mergeTopKParallel(ctx, h, k, workers, &m)
+	return res, m, err
 }

@@ -18,6 +18,7 @@ package trajcover
 // and the live types whenever writes and reads overlap.
 
 import (
+	"context"
 	"errors"
 
 	"github.com/trajcover/trajcover/internal/query"
@@ -179,6 +180,28 @@ func (x *LiveIndex) TopKParallel(facilities []*Facility, k int, q Query, workers
 	return res, err
 }
 
+// ServiceValuesCtx is ServiceValues with cooperative cancellation; see
+// the deadline-aware variants note on Index. The whole batch still
+// answers over one write-consistent epoch capture.
+func (x *LiveIndex) ServiceValuesCtx(ctx context.Context, facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.s.ServiceValuesCtx(ctx, facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopKCtx is TopK with cooperative cancellation; see the deadline-aware
+// variants note on Index.
+func (x *LiveIndex) TopKCtx(ctx context.Context, facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.s.TopKCtx(ctx, facilities, k, q.params())
+	return res, err
+}
+
+// TopKParallelCtx is TopKParallel with cooperative cancellation; see the
+// deadline-aware variants note on Index.
+func (x *LiveIndex) TopKParallelCtx(ctx context.Context, facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.s.TopKParallelCtx(ctx, facilities, k, q.params(), workers)
+	return res, err
+}
+
 // LiveShardedIndex is the live serving form of a ShardedIndex: every
 // shard serves from an atomically-swappable epoch, writes route to
 // their shard's delta overlay, and background rebuilds fold one shard
@@ -296,6 +319,28 @@ func (x *LiveShardedIndex) TopKWithMetrics(facilities []*Facility, k int, q Quer
 // concurrently per round; the answer is identical to TopK.
 func (x *LiveShardedIndex) TopKParallel(facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
 	res, _, err := x.s.TopKParallel(facilities, k, q.params(), workers)
+	return res, err
+}
+
+// ServiceValuesCtx is ServiceValues with cooperative cancellation; see
+// the deadline-aware variants note on Index. The whole batch still
+// answers over one write-consistent epoch capture.
+func (x *LiveShardedIndex) ServiceValuesCtx(ctx context.Context, facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.s.ServiceValuesCtx(ctx, facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopKCtx is TopK with cooperative cancellation; see the deadline-aware
+// variants note on Index.
+func (x *LiveShardedIndex) TopKCtx(ctx context.Context, facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.s.TopKCtx(ctx, facilities, k, q.params())
+	return res, err
+}
+
+// TopKParallelCtx is TopKParallel with cooperative cancellation; see the
+// deadline-aware variants note on Index.
+func (x *LiveShardedIndex) TopKParallelCtx(ctx context.Context, facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.s.TopKParallelCtx(ctx, facilities, k, q.params(), workers)
 	return res, err
 }
 

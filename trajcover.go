@@ -23,6 +23,7 @@
 package trajcover
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trajcover/trajcover/internal/datagen"
@@ -242,6 +243,37 @@ func (x *Index) TopKParallel(facilities []*Facility, k int, q Query, workers int
 	return res, err
 }
 
+// Deadline-aware variants. Every index type exposes *Ctx forms of its
+// batch and top-k entry points: the search polls ctx between facility
+// relaxations (TopK) or between per-facility evaluations (ServiceValues)
+// and aborts with ctx.Err() — context.DeadlineExceeded or
+// context.Canceled — returning no partial answer. A context that cannot
+// be cancelled (context.Background) adds no measurable overhead. This is
+// what lets a serving front end (cmd/tqserve) bound every request:
+// an expired deadline stops the query instead of letting it run on and
+// steal workers from queued requests.
+
+// ServiceValuesCtx is ServiceValues with cooperative cancellation; see
+// the deadline-aware variants note above.
+func (x *Index) ServiceValuesCtx(ctx context.Context, facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.engine.ServiceValuesCtx(ctx, facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopKCtx is TopK with cooperative cancellation; see the deadline-aware
+// variants note above.
+func (x *Index) TopKCtx(ctx context.Context, facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.engine.TopKCtx(ctx, facilities, k, q.params())
+	return res, err
+}
+
+// TopKParallelCtx is TopKParallel with cooperative cancellation; see the
+// deadline-aware variants note above.
+func (x *Index) TopKParallelCtx(ctx context.Context, facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.engine.TopKParallelCtx(ctx, facilities, k, q.params(), workers)
+	return res, err
+}
+
 // Partitioner assigns trajectories to shards; see HashPartitioner and
 // GridPartitioner for the built-in strategies.
 type Partitioner = shard.Partitioner
@@ -350,6 +382,27 @@ func (x *ShardedIndex) TopKWithMetrics(facilities []*Facility, k int, q Query) (
 // concurrently per round; the answer is identical to TopK.
 func (x *ShardedIndex) TopKParallel(facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
 	res, _, err := x.s.TopKParallel(facilities, k, q.params(), workers)
+	return res, err
+}
+
+// ServiceValuesCtx is ServiceValues with cooperative cancellation; see
+// the deadline-aware variants note on Index.
+func (x *ShardedIndex) ServiceValuesCtx(ctx context.Context, facilities []*Facility, q Query, workers int) ([]float64, error) {
+	vs, _, err := x.s.ServiceValuesCtx(ctx, facilities, q.params(), workers)
+	return vs, err
+}
+
+// TopKCtx is TopK with cooperative cancellation; see the deadline-aware
+// variants note on Index.
+func (x *ShardedIndex) TopKCtx(ctx context.Context, facilities []*Facility, k int, q Query) ([]Ranked, error) {
+	res, _, err := x.s.TopKCtx(ctx, facilities, k, q.params())
+	return res, err
+}
+
+// TopKParallelCtx is TopKParallel with cooperative cancellation; see the
+// deadline-aware variants note on Index.
+func (x *ShardedIndex) TopKParallelCtx(ctx context.Context, facilities []*Facility, k int, q Query, workers int) ([]Ranked, error) {
+	res, _, err := x.s.TopKParallelCtx(ctx, facilities, k, q.params(), workers)
 	return res, err
 }
 
