@@ -65,6 +65,11 @@ func main() {
 		Title: "extra — tqserve worker-pool HTTP front end requests/sec vs pool size (NYT, not in the paper)",
 		Run:   expServe,
 	})
+	bench.RegisterExtra(bench.Experiment{
+		ID:    "wal",
+		Title: "extra — WAL append throughput and replay speed vs sync policy (NYT, not in the paper)",
+		Run:   expWAL,
+	})
 
 	if *list {
 		for _, e := range bench.Registry() {

@@ -1,0 +1,82 @@
+package main
+
+// The `wal` experiment: append throughput and replay speed of the
+// durability log under each sync policy. Appends go through the real
+// wal.Log (group commit included — the measurement loop is one writer,
+// so `always` pays one fsync per record, the worst case; `interval`
+// amortizes; `none` is the OS-cache ceiling). Replay is the cold-boot
+// cost: records/sec through wal.Replay over everything the append runs
+// accumulated. It lives here rather than in internal/bench with the
+// other extras because it measures infrastructure (internal/wal), not
+// a query method from the paper.
+
+import (
+	"os"
+	"time"
+
+	"github.com/trajcover/trajcover/internal/bench"
+	"github.com/trajcover/trajcover/internal/datagen"
+	"github.com/trajcover/trajcover/internal/wal"
+)
+
+func expWAL(ctx *bench.Context) (*bench.Table, error) {
+	t := &bench.Table{
+		ID: "wal", Title: "WAL append throughput and replay speed vs sync policy (NYT)",
+		XLabel: "sync policy", YLabel: "records/sec",
+		Series: []bench.Series{{Method: "append"}, {Method: "replay"}},
+	}
+	users := ctx.Users("nyt", datagen.NYT1Day).All
+	recs := make([]wal.Record, len(users))
+	for i, u := range users {
+		recs[i] = wal.Record{Op: wal.OpInsert, Trajectory: u, ID: u.ID}
+	}
+	for _, pol := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncNone} {
+		dir, err := os.MkdirTemp("", "tqbench-wal-*")
+		if err != nil {
+			return nil, err
+		}
+		log, err := wal.Open(dir, wal.Options{Sync: pol, SyncEvery: time.Millisecond})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		var aerr error
+		appendSec := ctx.Time(func() {
+			var lsn uint64
+			for _, rec := range recs {
+				if lsn, aerr = log.Append(rec); aerr != nil {
+					return
+				}
+			}
+			aerr = log.WaitDurable(lsn)
+		})
+		cerr := log.Close()
+		if aerr == nil {
+			aerr = cerr
+		}
+		// Replay everything the repeated append runs accumulated; rate is
+		// per record actually replayed, so repeats don't skew it.
+		replayed := 0
+		replaySec := ctx.Time(func() {
+			n, _, rerr := wal.Replay(dir, func(wal.Record) error { return nil })
+			if rerr != nil {
+				aerr = rerr
+			}
+			replayed = n
+		})
+		os.RemoveAll(dir)
+		if aerr != nil {
+			return nil, aerr
+		}
+		rate := func(n int, sec float64) float64 {
+			if sec <= 0 {
+				return 0
+			}
+			return float64(n) / sec
+		}
+		t.XTicks = append(t.XTicks, pol.String())
+		t.Series[0].Y = append(t.Series[0].Y, rate(len(recs), appendSec))
+		t.Series[1].Y = append(t.Series[1].Y, rate(replayed, replaySec))
+	}
+	return t, nil
+}

@@ -9,11 +9,17 @@
 //
 //	tqserve -addr :8080 -snapshot live.tqlive
 //	tqserve -addr :8080 -synthetic 50000 -shards 4
+//	tqserve -addr :8080 -synthetic 50000 -wal-dir /var/lib/tqserve/wal
 //
 // The index is either restored from a TQLIVE01 snapshot (-snapshot,
 // written by LiveIndex/LiveShardedIndex.WriteSnapshot or GET
 // /v1/snapshot on a running tqserve) or generated (-synthetic N taxi
-// trips over the synthetic New York). Once serving:
+// trips over the synthetic New York). With -wal-dir every acknowledged
+// Insert/Delete is also appended to a write-ahead log there (sync
+// policy from -wal-sync), and on restart the index recovers from the
+// newest checkpoint in that directory plus the WAL tail — -snapshot/
+// -synthetic then only seed the FIRST boot. POST /v1/checkpoint (or a
+// GET /v1/snapshot download) compacts the log. Once serving:
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/topk -d '{"facilities":[{"id":1,"stops":[[500,500],[800,300]]}],"k":1,"psi":300}'
@@ -67,16 +73,38 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 		maxBody      = fs.Int64("max-body", 8<<20, "request body cap in bytes")
 		maxDelta     = fs.Int("maxdelta", 0, "pending writes per shard before a background rebuild (0 = default 4096)")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "in-flight grace period on SIGTERM")
+		walDir       = fs.String("wal-dir", "", "write-ahead log directory (empty = no durability)")
+		walSync      = fs.String("wal-sync", "always", "WAL sync policy: always, interval, or none")
+		walSyncEvery = fs.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period under -wal-sync interval")
+		walSegBytes  = fs.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation size")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	pol := trajcover.LivePolicy{MaxDelta: *maxDelta}
-	idx, err := buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
+	var idx *trajcover.LiveShardedIndex
+	var err error
+	if *walDir != "" {
+		syncPol, perr := trajcover.ParseWALSyncPolicy(*walSync)
+		if perr != nil {
+			return perr
+		}
+		idx, err = trajcover.OpenLiveShardedIndex(trajcover.WALOptions{
+			Dir:          *walDir,
+			Sync:         syncPol,
+			SyncEvery:    *walSyncEvery,
+			SegmentBytes: *walSegBytes,
+		}, pol, func() (*trajcover.LiveShardedIndex, error) {
+			return buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
+		})
+	} else {
+		idx, err = buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
+	}
 	if err != nil {
 		return err
 	}
+	defer idx.Close()
 
 	srv := server.New(idx, server.Config{
 		Workers:        *workers,
@@ -91,6 +119,9 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 	}
 	fmt.Fprintf(stdout, "tqserve: serving %d trajectories across %d shard(s) on %s\n",
 		idx.Len(), idx.NumShards(), ln.Addr())
+	if _, ok := idx.WALStats(); ok {
+		fmt.Fprintf(stdout, "tqserve: wal %s (sync=%s)\n", *walDir, *walSync)
+	}
 	if ready != nil {
 		ready(ln.Addr().String())
 	}

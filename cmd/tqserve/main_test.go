@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -85,4 +86,112 @@ func TestBuildIndexErrors(t *testing.T) {
 	if _, err := buildIndex("/does/not/exist.tqlive", 0, 1, 1, "hash", pol); err == nil {
 		t.Fatal("missing snapshot accepted")
 	}
+}
+
+// TestRunWALRecovery boots tqserve with -wal-dir, writes through HTTP,
+// drains, then reboots against the same directory: the -synthetic seed
+// only applies to the first boot, and the second boot must recover the
+// corpus including the post-seed writes from checkpoint + WAL.
+func TestRunWALRecovery(t *testing.T) {
+	walDir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0", "-synthetic", "300", "-shards", "2",
+		"-workers", "2", "-queue", "8", "-wal-dir", walDir, "-wal-sync", "always",
+	}
+
+	boot := func() (addr string, sig chan os.Signal, done chan error, out *bytes.Buffer) {
+		sig = make(chan os.Signal, 1)
+		ready := make(chan string, 1)
+		out = &bytes.Buffer{}
+		done = make(chan error, 1)
+		go func() { done <- run(args, out, sig, func(a string) { ready <- a }) }()
+		select {
+		case addr = <-ready:
+		case err := <-done:
+			t.Fatalf("run exited before ready: %v\n%s", err, out.String())
+		case <-time.After(60 * time.Second):
+			t.Fatal("server never became ready")
+		}
+		return addr, sig, done, out
+	}
+	stop := func(sig chan os.Signal, done chan error, out *bytes.Buffer) {
+		sig <- syscall.SIGTERM
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out.String())
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("server did not drain after SIGTERM")
+		}
+	}
+	indexLen := func(addr string) int {
+		resp, err := http.Get("http://" + addr + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Index struct {
+				Len int `json:"len"`
+			} `json:"index"`
+			WAL *struct {
+				Records uint64 `json:"records"`
+			} `json:"wal"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.WAL == nil {
+			t.Fatal("statsz has no wal section on a -wal-dir boot")
+		}
+		return st.Index.Len
+	}
+
+	addr, sig, done, out := boot()
+	if !strings.Contains(out.String(), "tqserve: wal "+walDir) {
+		t.Fatalf("wal banner missing: %s", out.String())
+	}
+	if n := indexLen(addr); n != 300 {
+		t.Fatalf("first boot len %d, want 300", n)
+	}
+	body := `{"id":900001,"points":[[123,456],[789,1011]]}`
+	resp, err := http.Post("http://"+addr+"/v1/insert", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: %d %s", resp.StatusCode, got)
+	}
+	resp, err = http.Post("http://"+addr+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(got), `"ok":true`) {
+		t.Fatalf("checkpoint: %d %s", resp.StatusCode, got)
+	}
+	stop(sig, done, out)
+	http.DefaultClient.CloseIdleConnections()
+
+	// Second boot: same flags, but the corpus must come from the WAL
+	// directory (300 seeded + 1 inserted), not a fresh -synthetic build.
+	addr, sig, done, out = boot()
+	if n := indexLen(addr); n != 301 {
+		t.Fatalf("recovered len %d, want 301", n)
+	}
+	resp, err = http.Post("http://"+addr+"/v1/delete", "application/json", strings.NewReader(`{"id":900001}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(got), `"found":true`) {
+		t.Fatalf("delete of recovered trajectory: %d %s", resp.StatusCode, got)
+	}
+	stop(sig, done, out)
+	http.DefaultClient.CloseIdleConnections()
 }

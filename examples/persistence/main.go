@@ -1,7 +1,10 @@
-// Persistence shows the operational side of the library: simplify raw
-// GPS traces, build an index, snapshot it to disk, restore it in a fresh
-// process, and drill into one route's riders with the reverse range
-// search (ServedUsers).
+// Persistence shows the operational side of the library, durability
+// edition: open a live index with a write-ahead log, take acknowledged
+// writes, crash without any shutdown, and reopen the same directory —
+// every acknowledged write is still there, proven by comparing answers
+// against an index built fresh from the same logical history. The
+// final act compacts the log with a checkpoint, which is also what a
+// running tqserve does on POST /v1/checkpoint.
 package main
 
 import (
@@ -15,83 +18,117 @@ import (
 
 func main() {
 	city := trajcover.BeijingCity()
-
-	// Raw traces: 3k trips of 20–80 GPS fixes.
-	raw := trajcover.GPSTraces(city, 3000, 20, 80, 31)
-	var rawPoints int
-	for _, t := range raw {
-		rawPoints += t.Len()
+	dir, err := os.MkdirTemp("", "trajcover-wal-*")
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer os.RemoveAll(dir)
 
-	// Simplify to ~50 m tolerance before indexing (what one would do
-	// with real Geolife data).
+	// Raw traces, simplified to ~50 m tolerance before indexing (what
+	// one would do with real Geolife data).
+	raw := trajcover.GPSTraces(city, 3000, 20, 80, 31)
 	users, err := trajcover.Simplify(raw, 50)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var simplePoints int
-	for _, t := range users {
-		simplePoints += t.Len()
-	}
-	fmt.Printf("simplified %d traces: %d -> %d points (%.0f%% kept)\n",
-		len(raw), rawPoints, simplePoints, 100*float64(simplePoints)/float64(rawPoints))
+	base, arrivals := users[:2500], users[2500:]
 
-	idx, err := trajcover.NewIndex(users, trajcover.IndexOptions{
-		Variant:  trajcover.FullTrajectory,
-		Ordering: trajcover.ZOrdering,
-	})
+	walOpts := trajcover.WALOptions{
+		Dir:  filepath.Join(dir, "wal"),
+		Sync: trajcover.WALSyncAlways, // ack ⇒ fsynced
+	}
+	pol := trajcover.LivePolicy{}
+	bootstrap := func() (*trajcover.LiveShardedIndex, error) {
+		return trajcover.NewLiveShardedIndex(base, trajcover.LiveShardOptions{
+			Shards:      2,
+			Partitioner: trajcover.HashPartitioner(),
+			Index: trajcover.IndexOptions{
+				Variant:  trajcover.FullTrajectory,
+				Ordering: trajcover.ZOrdering,
+			},
+			Policy: pol,
+		})
+	}
+
+	// --- process one: open with a WAL, write, then "crash" -----------
+	//
+	// The bootstrap closure runs on the first open only; afterwards the
+	// directory itself is the source of truth.
+	idx, err := trajcover.OpenLiveShardedIndex(walOpts, pol, bootstrap)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("opened WAL-backed index: %d trajectories, wal at %s\n", idx.Len(), walOpts.Dir)
 
-	// Snapshot to disk.
-	path := filepath.Join(os.TempDir(), "trajcover-demo.snap")
-	f, err := os.Create(path)
+	for _, u := range arrivals {
+		if err := idx.Insert(u); err != nil { // returns only after the record is fsynced
+			log.Fatal(err)
+		}
+	}
+	if _, err := idx.Delete(base[0].ID); err != nil {
+		log.Fatal(err)
+	}
+	if st, ok := idx.WALStats(); ok {
+		fmt.Printf("acknowledged %d+1 writes: wal has %d records in %d segment(s), %d fsyncs\n",
+			len(arrivals), st.Records, st.Segments, st.Fsyncs)
+	}
+
+	// Crash. No Close, no snapshot, no warning — the handles die with
+	// the process. (In-process we simply abandon the value; the
+	// TestWALCrashRecovery property test does this for real with
+	// SIGKILL at random points mid-history.)
+	idx = nil
+	_ = idx
+
+	// --- process two: reopen the same directory ----------------------
+	recovered, err := trajcover.OpenLiveShardedIndex(walOpts, pol, bootstrap)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := idx.WriteSnapshot(f); err != nil {
-		log.Fatal(err)
-	}
-	f.Close()
-	info, _ := os.Stat(path)
-	fmt.Printf("snapshot written: %s (%d KiB)\n", path, info.Size()/1024)
+	defer recovered.Close()
+	fmt.Printf("reopened after crash: %d trajectories recovered\n", recovered.Len())
 
-	// Restore — as a fresh process would.
-	g, err := os.Open(path)
+	// Verify: an index built fresh from the same logical history must
+	// answer identically.
+	fresh, err := bootstrap()
 	if err != nil {
 		log.Fatal(err)
 	}
-	restored, err := trajcover.ReadSnapshot(g)
-	g.Close()
-	os.Remove(path)
-	if err != nil {
+	for _, u := range arrivals {
+		if err := fresh.Insert(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := fresh.Delete(base[0].ID); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("restored index with %d trajectories\n\n", restored.Len())
 
-	// Reverse range search on the best route: who exactly rides it?
 	routes := trajcover.BusRoutes(city, 60, 32, 32)
 	q := trajcover.Query{Scenario: trajcover.PointCount, Psi: trajcover.DefaultPsi}
-	top, err := restored.TopK(routes, 1, q)
+	got, err := recovered.TopK(routes, 3, q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	best := top[0]
-	riders, err := restored.ServedUsers(best.Facility, q)
+	want, err := fresh.TopK(routes, 3, q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("route %d serves %d users (total service %.1f); best-served five:\n",
-		best.Facility.ID, len(riders), best.Service)
-	for i, r := range riders[:min(5, len(riders))] {
-		fmt.Printf("  %d. user %-5d fraction of trip covered %.2f\n", i+1, r.User, r.Value)
+	for i := range want {
+		if got[i].Facility.ID != want[i].Facility.ID || got[i].Service != want[i].Service {
+			log.Fatalf("recovered answer diverges at rank %d: (%d, %v) vs (%d, %v)",
+				i+1, got[i].Facility.ID, got[i].Service, want[i].Facility.ID, want[i].Service)
+		}
+		fmt.Printf("  rank %d: route %-4d service %.0f (recovered == fresh)\n",
+			i+1, got[i].Facility.ID, got[i].Service)
 	}
-}
 
-func min(a, b int) int {
-	if a < b {
-		return a
+	// Checkpoint: durable TQLIVE01 snapshot of the current state, then
+	// the replayed segments are deleted — bounding the next restart's
+	// replay to writes after this point.
+	if err := recovered.Checkpoint(); err != nil {
+		log.Fatal(err)
 	}
-	return b
+	if st, ok := recovered.WALStats(); ok {
+		fmt.Printf("checkpointed: wal truncated to %d segment(s), %d bytes\n", st.Segments, st.Bytes)
+	}
 }

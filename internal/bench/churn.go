@@ -93,7 +93,9 @@ func expChurn(ctx *Context) (*Table, error) {
 					liveIDs = append(liveIDs, u.ID)
 				} else if len(liveIDs) > 0 {
 					i := rng.Intn(len(liveIDs))
-					if lv.Delete(liveIDs[i]) {
+					if found, err := lv.Delete(liveIDs[i]); err != nil {
+						return nil, err
+					} else if found {
 						liveIDs[i] = liveIDs[len(liveIDs)-1]
 						liveIDs = liveIDs[:len(liveIDs)-1]
 					}

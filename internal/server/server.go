@@ -23,7 +23,14 @@
 //	POST /v1/delete         {"id":9001}
 //	POST /v1/compact        {}
 //	GET  /v1/snapshot       -> TQLIVE01 stream
+//	POST /v1/checkpoint     {} (WAL-backed index only)
 //	GET  /healthz, /statsz
+//
+// On a WAL-backed index (tqserve -wal-dir), /v1/snapshot streams the
+// checkpoint it just made durable on disk — so every snapshot download
+// also truncates the WAL — and /v1/checkpoint runs the same checkpoint
+// without streaming the bytes. /statsz gains a "wal" section with
+// append/fsync counters and the time since the last checkpoint.
 //
 // Shutdown protocol: BeginDrain (new work → 503, health → draining),
 // then stop the HTTP listener (http.Server.Shutdown waits for in-flight
@@ -169,6 +176,17 @@ type IndexSnapshot struct {
 	RebuildError string                     `json:"rebuild_error,omitempty"`
 }
 
+// WALSnapshot is the durability layer's state as reported by /statsz
+// (present only for WAL-backed indexes).
+type WALSnapshot struct {
+	Records                uint64  `json:"records"`
+	Segments               int     `json:"segments"`
+	Bytes                  int64   `json:"bytes"`
+	Fsyncs                 uint64  `json:"fsyncs"`
+	MaxFsyncMillis         float64 `json:"max_fsync_ms"`
+	SinceCheckpointSeconds float64 `json:"since_checkpoint_seconds"`
+}
+
 // Stats is the /statsz document.
 type Stats struct {
 	UptimeSeconds float64                     `json:"uptime_seconds"`
@@ -178,6 +196,7 @@ type Stats struct {
 	Draining      bool                        `json:"draining"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	Index         IndexSnapshot               `json:"index"`
+	WAL           *WALSnapshot                `json:"wal,omitempty"`
 }
 
 // Server is the worker-pool front end over a live sharded index.
@@ -214,6 +233,7 @@ const (
 	PathDelete        = "/v1/delete"
 	PathCompact       = "/v1/compact"
 	PathSnapshot      = "/v1/snapshot"
+	PathCheckpoint    = "/v1/checkpoint"
 	PathHealth        = "/healthz"
 	PathStats         = "/statsz"
 )
@@ -230,7 +250,7 @@ func New(idx *trajcover.LiveShardedIndex, cfg Config) *Server {
 		stats:      map[string]*endpointStats{},
 		retryAfter: strconv.Itoa(int((cfg.RetryAfter + time.Second - 1) / time.Second)),
 	}
-	for _, p := range []string{PathTopK, PathServiceValues, PathInsert, PathDelete, PathCompact, PathSnapshot} {
+	for _, p := range []string{PathTopK, PathServiceValues, PathInsert, PathDelete, PathCompact, PathSnapshot, PathCheckpoint} {
 		s.stats[p] = &endpointStats{}
 	}
 	s.mux.HandleFunc(PathTopK, s.requirePost(s.handleTopK))
@@ -239,6 +259,7 @@ func New(idx *trajcover.LiveShardedIndex, cfg Config) *Server {
 	s.mux.HandleFunc(PathDelete, s.requirePost(s.handleDelete))
 	s.mux.HandleFunc(PathCompact, s.requirePost(s.handleCompact))
 	s.mux.HandleFunc(PathSnapshot, s.handleSnapshot)
+	s.mux.HandleFunc(PathCheckpoint, s.handleCheckpoint)
 	s.mux.HandleFunc(PathHealth, s.handleHealth)
 	s.mux.HandleFunc(PathStats, s.handleStats)
 	for i := 0; i < cfg.Workers; i++ {
@@ -461,8 +482,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.execute(w, r, ep, req.TimeoutMS, func(context.Context) response {
 		if err := s.idx.Insert(u); err != nil {
 			// Duplicate IDs and unroutable (immutable-restore) inserts
-			// are conflicts with the served corpus, not malformed input.
-			return response{status: http.StatusConflict, body: mustMarshal(ErrorResponse{Error: err.Error()})}
+			// are conflicts with the served corpus, not malformed input;
+			// anything else is a durability failure — the write was NOT
+			// acknowledged and the WAL is wedged.
+			status := http.StatusInternalServerError
+			if errors.Is(err, trajcover.ErrDuplicateID) || trajcover.IsImmutable(err) {
+				status = http.StatusConflict
+			}
+			return response{status: status, body: mustMarshal(ErrorResponse{Error: err.Error()})}
 		}
 		return response{status: http.StatusOK, body: mustMarshal(InsertResponse{Len: s.idx.Len()})}
 	})
@@ -480,7 +507,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.execute(w, r, ep, req.TimeoutMS, func(context.Context) response {
-		found := s.idx.Delete(trajcover.ID(req.ID))
+		found, err := s.idx.Delete(trajcover.ID(req.ID))
+		if err != nil {
+			// A durability failure: the delete was not acknowledged.
+			return response{status: http.StatusInternalServerError, body: mustMarshal(ErrorResponse{Error: err.Error()})}
+		}
 		return response{status: http.StatusOK, body: mustMarshal(DeleteResponse{Found: found})}
 	})
 }
@@ -503,7 +534,10 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 // handleSnapshot streams a TQLIVE01 checkpoint of the live index. The
 // capture is one atomic epoch-set read, so writes keep flowing while
 // the stream runs; it bypasses the query pool (it is IO-bound ops
-// traffic, not index work) but still counts on /statsz.
+// traffic, not index work) but still counts on /statsz. On a WAL-backed
+// index the stream comes from CheckpointTo — the checkpoint is made
+// durable on disk and the WAL truncated before a byte reaches the
+// client, so downloading a snapshot doubles as a checkpoint.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	ep := s.stats[PathSnapshot]
 	ep.requests.Add(1)
@@ -521,11 +555,51 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := s.idx.WriteSnapshot(w); err != nil {
+	var err error
+	if _, hasWAL := s.idx.WALStats(); hasWAL {
+		err = s.idx.CheckpointTo(w)
+	} else {
+		err = s.idx.WriteSnapshot(w)
+	}
+	if err != nil {
 		// Headers are already gone; all we can do is count and cut the
 		// stream short so the client's CRC check fails loudly.
 		ep.errors.Add(1)
 	}
+}
+
+// handleCheckpoint runs a WAL checkpoint (durable TQLIVE01 snapshot in
+// the WAL directory + segment truncation) without streaming the bytes.
+// Writes keep flowing; like /v1/snapshot it bypasses the query pool.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	ep := s.stats[PathCheckpoint]
+	ep.requests.Add(1)
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+		return
+	}
+	if s.draining.Load() {
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		return
+	}
+	wst, hasWAL := s.idx.WALStats()
+	if !hasWAL {
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "index has no WAL (start tqserve with -wal-dir)"})
+		return
+	}
+	defer func() { ep.observe(time.Since(start)) }()
+	if err := s.idx.Checkpoint(); err != nil {
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	wst, _ = s.idx.WALStats()
+	writeJSON(w, http.StatusOK, CheckpointResponse{OK: true, WALSegments: wst.Segments, WALBytes: wst.Bytes})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -562,6 +636,16 @@ func (s *Server) Stats() Stats {
 	}
 	if err := s.idx.Err(); err != nil {
 		st.Index.RebuildError = err.Error()
+	}
+	if wst, ok := s.idx.WALStats(); ok {
+		st.WAL = &WALSnapshot{
+			Records:                wst.Records,
+			Segments:               wst.Segments,
+			Bytes:                  wst.Bytes,
+			Fsyncs:                 wst.Fsyncs,
+			MaxFsyncMillis:         float64(wst.MaxFsync.Nanoseconds()) / 1e6,
+			SinceCheckpointSeconds: wst.SinceCheckpoint.Seconds(),
+		}
 	}
 	return st
 }

@@ -241,7 +241,10 @@ func TestServerEndToEndMatchesDirect(t *testing.T) {
 			if status != http.StatusOK {
 				t.Fatalf("delete %d: status %d: %s", id, status, body)
 			}
-			found := e.mirror.Delete(trajcover.ID(id))
+			found, err := e.mirror.Delete(trajcover.ID(id))
+			if err != nil {
+				t.Fatal(err)
+			}
 			var dr DeleteResponse
 			if err := json.Unmarshal(body, &dr); err != nil {
 				t.Fatal(err)
@@ -786,5 +789,202 @@ func TestServerDrainLeavesNoGoroutines(t *testing.T) {
 	// 503 from the closed pool, never a send-on-closed-channel panic.
 	if ok, err := srv.enqueue(&task{ctx: context.Background(), done: make(chan struct{})}); ok || err == nil {
 		t.Fatalf("enqueue after Close = (%v, %v), want (false, error)", ok, err)
+	}
+}
+
+// newWALEnv is newEnv over a WAL-backed index: the server under test
+// persists every acknowledged write to a temp WAL directory, the mirror
+// stays in-memory (the wire behavior must not depend on durability).
+func newWALEnv(t *testing.T, base []*trajcover.Trajectory, cfg Config) *env {
+	t.Helper()
+	idx, err := trajcover.OpenLiveShardedIndex(trajcover.WALOptions{
+		Dir:  t.TempDir(),
+		Sync: trajcover.WALSyncAlways,
+	}, trajcover.LivePolicy{Manual: true}, func() (*trajcover.LiveShardedIndex, error) {
+		return trajcover.NewLiveShardedIndex(base, liveOpts())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := trajcover.NewLiveShardedIndex(base, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	e := &env{t: t, srv: srv, ts: ts, mirror: mirror, client: ts.Client()}
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		idx.Close()
+	})
+	return e
+}
+
+// TestServerWALCheckpointAndStats covers the durability wiring end to
+// end: /statsz grows a wal section whose counters move with traffic,
+// POST /v1/checkpoint truncates the log while concurrent writes keep
+// landing, and GET /v1/snapshot on a WAL-backed index both streams a
+// restorable snapshot and checkpoints (segment footprint resets).
+func TestServerWALCheckpointAndStats(t *testing.T) {
+	users := testUsers(400, 101)
+	e := newWALEnv(t, users[:300], Config{Workers: 2, QueueDepth: 16, DefaultTimeout: 10 * time.Second})
+	facs := testFacilities(6, 5, 102)
+	q := trajcover.Query{Scenario: trajcover.Binary, Psi: 40}
+
+	writes := 0
+	for _, u := range users[300:350] {
+		pts := make([][2]float64, len(u.Points))
+		for i, p := range u.Points {
+			pts[i] = [2]float64{p.X, p.Y}
+		}
+		if status, body, _ := e.post(PathInsert, mustBody(t, InsertRequest{ID: uint32(u.ID), Points: pts})); status != http.StatusOK {
+			t.Fatalf("insert: %d %s", status, body)
+		}
+		writes++
+	}
+	if status, _, _ := e.post(PathDelete, mustBody(t, DeleteRequest{ID: 7})); status != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+	writes++
+
+	// A duplicate ID is a client error (409), not a durability failure.
+	if status, body, _ := e.post(PathInsert, mustBody(t, InsertRequest{ID: 300, Points: [][2]float64{{1, 1}, {2, 2}}})); status != http.StatusConflict {
+		t.Fatalf("duplicate insert: %d %s, want 409", status, body)
+	}
+
+	status, body := e.get(PathStats)
+	if status != http.StatusOK {
+		t.Fatalf("statsz: %d", status)
+	}
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statsz decode: %v", err)
+	}
+	if st.WAL == nil {
+		t.Fatalf("statsz has no wal section: %s", body)
+	}
+	if st.WAL.Records < uint64(writes) || st.WAL.Segments < 1 || st.WAL.Bytes <= 0 {
+		t.Fatalf("wal counters did not move: %+v after %d writes", st.WAL, writes)
+	}
+	if st.WAL.Fsyncs < 1 || st.WAL.MaxFsyncMillis < 0 {
+		t.Fatalf("wal fsync counters: %+v", st.WAL)
+	}
+	if st.WAL.SinceCheckpointSeconds < 0 || st.WAL.SinceCheckpointSeconds > 3600 {
+		t.Fatalf("wal since_checkpoint_seconds implausible: %v", st.WAL.SinceCheckpointSeconds)
+	}
+
+	// Checkpoint must not stop writes: keep inserting while it runs.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var insertErr error
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, u := range users[350:] {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pts := make([][2]float64, len(u.Points))
+			for j, p := range u.Points {
+				pts[j] = [2]float64{p.X, p.Y}
+			}
+			b := mustBody(t, InsertRequest{ID: uint32(u.ID), Points: pts})
+			resp, err := e.client.Post(e.ts.URL+PathInsert, "application/json", bytes.NewReader(b))
+			if err != nil {
+				mu.Lock()
+				insertErr = err
+				mu.Unlock()
+				return
+			}
+			out, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				mu.Lock()
+				insertErr = fmt.Errorf("concurrent insert %d: %d %s", i, resp.StatusCode, out)
+				mu.Unlock()
+				return
+			}
+		}
+	}()
+	status, body, _ = e.post(PathCheckpoint, nil)
+	close(stop)
+	wg.Wait()
+	if insertErr != nil {
+		t.Fatalf("insert during checkpoint: %v", insertErr)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", status, body)
+	}
+	var ck CheckpointResponse
+	if err := json.Unmarshal(body, &ck); err != nil {
+		t.Fatalf("checkpoint decode: %v", err)
+	}
+	if !ck.OK || ck.WALSegments < 1 || ck.WALBytes < 0 {
+		t.Fatalf("checkpoint response: %+v", ck)
+	}
+
+	// GET on the checkpoint endpoint is a method error.
+	resp, err := e.client.Get(e.ts.URL + PathCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET checkpoint: %d, want 405", resp.StatusCode)
+	}
+
+	// /v1/snapshot on a WAL-backed index streams a restorable TQLIVE01
+	// image and checkpoints as a side effect: afterwards the log holds
+	// only the fresh post-cut segment.
+	status, raw := e.get(PathSnapshot)
+	if status != http.StatusOK {
+		t.Fatalf("snapshot: %d", status)
+	}
+	restored, err := trajcover.ReadLiveSnapshot(bytes.NewReader(raw), trajcover.LivePolicy{Manual: true})
+	if err != nil {
+		t.Fatalf("restore streamed snapshot: %v", err)
+	}
+	if restored.Len() != e.srv.Index().Len() {
+		t.Fatalf("restored len %d, served %d", restored.Len(), e.srv.Index().Len())
+	}
+	want, err := e.srv.Index().ServiceValues(facs, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.ServiceValues(facs, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(MarshalValuesResponse(got), MarshalValuesResponse(want)) {
+		t.Fatal("restored snapshot answers differ from served index")
+	}
+	status, body = e.get(PathStats)
+	if status != http.StatusOK {
+		t.Fatalf("statsz after snapshot: %d", status)
+	}
+	st = Stats{}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statsz decode: %v", err)
+	}
+	if st.WAL == nil || st.WAL.Segments != 1 {
+		t.Fatalf("snapshot did not truncate the WAL: %+v", st.WAL)
+	}
+	if st.WAL.SinceCheckpointSeconds > 60 {
+		t.Fatalf("since_checkpoint_seconds did not reset: %v", st.WAL.SinceCheckpointSeconds)
+	}
+}
+
+// TestServerCheckpointWithoutWAL pins the 400 on /v1/checkpoint for an
+// index serving without a WAL directory.
+func TestServerCheckpointWithoutWAL(t *testing.T) {
+	e := newEnv(t, testUsers(50, 111), Config{Workers: 1, QueueDepth: 4})
+	status, body, _ := e.post(PathCheckpoint, nil)
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "no WAL") {
+		t.Fatalf("checkpoint without WAL: %d %s, want 400", status, body)
 	}
 }

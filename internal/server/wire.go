@@ -121,6 +121,14 @@ type CompactResponse struct {
 	OK bool `json:"ok"`
 }
 
+// CheckpointResponse acknowledges a completed WAL checkpoint, reporting
+// the post-truncation segment footprint.
+type CheckpointResponse struct {
+	OK          bool  `json:"ok"`
+	WALSegments int   `json:"wal_segments"`
+	WALBytes    int64 `json:"wal_bytes"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -41,6 +41,7 @@ import (
 	"github.com/trajcover/trajcover/internal/query"
 	"github.com/trajcover/trajcover/internal/tqtree"
 	"github.com/trajcover/trajcover/internal/trajectory"
+	"github.com/trajcover/trajcover/internal/wal"
 )
 
 // ErrImmutable marks an index that cannot accept writes: it was restored
@@ -48,6 +49,11 @@ import (
 // so new trajectories cannot be routed consistently with the recorded
 // partition. Queries (and Delete, which routes by ID lookup) still work.
 var ErrImmutable = errors.New("shard: immutable index (unknown partitioner)")
+
+// ErrDuplicateID rejects an Insert whose ID is already in the logical
+// corpus. Typed so callers (the HTTP server) can tell a client mistake
+// (409) from a durability failure (500).
+var ErrDuplicateID = errors.New("shard: duplicate id")
 
 // Policy tunes when a live shard folds its delta into a fresh base.
 type Policy struct {
@@ -139,6 +145,13 @@ type Live struct {
 	// surfaced via Err. Rebuild inputs are validated epochs, so this
 	// stays nil outside of resource exhaustion.
 	lastErr error
+
+	// log, when attached, makes writes durable: every Insert/Delete
+	// appends its record inside wmu BEFORE publishing the successor
+	// epoch, so WAL order is exactly apply order, and the write is
+	// acknowledged only after WaitDurable returns (after wmu is
+	// released, so concurrent writers share one group-commit fsync).
+	log *wal.Log
 }
 
 // BuildLive partitions users and builds one frozen-epoch shard per
@@ -352,19 +365,73 @@ func (sh *liveShard) has(id trajectory.ID) bool {
 	return sh.epoch.Load().Base().Users().ByID(id) != nil
 }
 
+// AttachWAL makes the index durable: every subsequent Insert/Delete is
+// appended to log before its epoch is published and acknowledged only
+// once the append is durable per the log's sync policy. Attach before
+// the index is shared with writers (the restore path replays history
+// first, then attaches, so replayed records are not re-logged).
+func (l *Live) AttachWAL(log *wal.Log) {
+	l.wmu.Lock()
+	l.log = log
+	l.wmu.Unlock()
+}
+
+// WAL returns the attached log, or nil.
+func (l *Live) WAL() *wal.Log {
+	l.wmu.RLock()
+	defer l.wmu.RUnlock()
+	return l.log
+}
+
+// CheckpointCapture atomically captures a write-consistent epoch cut
+// and rotates the WAL in the same critical section, so the returned
+// segment index is exact: every write in the capture is in a segment
+// below cut, every later write in a segment at or above it. Replaying
+// segments >= cut on top of a snapshot of the capture reconstructs the
+// index. Requires an attached WAL.
+func (l *Live) CheckpointCapture() (eps []*query.Epoch, cut uint64, err error) {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if l.log == nil {
+		return nil, 0, fmt.Errorf("shard: no WAL attached")
+	}
+	cut, err = l.log.Rotate()
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard: wal rotate: %w", err)
+	}
+	eps = make([]*query.Epoch, len(l.shards))
+	for i, sh := range l.shards {
+		eps[i] = sh.epoch.Load()
+	}
+	return eps, cut, nil
+}
+
 // Insert adds a trajectory to its shard's delta overlay and publishes
 // the successor epoch (O(1) — see Epoch.WithInsert). Safe concurrently
 // with queries and other writes; duplicate IDs (anywhere in the logical
-// corpus) are rejected.
+// corpus) are rejected with ErrDuplicateID. With a WAL attached, Insert
+// returns only after the record is durable per the sync policy; a
+// durability error means the write was NOT acknowledged (an error after
+// the epoch publish leaves it applied in memory but the log wedged, so
+// every subsequent write fails too).
 func (l *Live) Insert(u *trajectory.Trajectory) error {
 	if l.part == nil {
 		return fmt.Errorf("%w: cannot route insert", ErrImmutable)
 	}
 	l.wmu.Lock()
-	defer l.wmu.Unlock()
 	for _, sh := range l.shards {
 		if sh.has(u.ID) {
-			return fmt.Errorf("shard: duplicate id %d", u.ID)
+			l.wmu.Unlock()
+			return fmt.Errorf("%w: %d", ErrDuplicateID, u.ID)
+		}
+	}
+	var lsn uint64
+	if l.log != nil {
+		var err error
+		lsn, err = l.log.Append(wal.Record{Op: wal.OpInsert, Trajectory: u})
+		if err != nil {
+			l.wmu.Unlock()
+			return fmt.Errorf("shard: wal append: %w", err)
 		}
 	}
 	i := clampShard(l.part.Assign(u, l.bounds, len(l.shards)), len(l.shards))
@@ -375,18 +442,32 @@ func (l *Live) Insert(u *trajectory.Trajectory) error {
 	sh.deltaByID[u.ID] = u
 	sh.epoch.Store(ep)
 	l.maybeCompact(sh)
+	log := l.log
+	l.wmu.Unlock()
+	if log != nil {
+		if err := log.WaitDurable(lsn); err != nil {
+			return fmt.Errorf("shard: wal sync: %w", err)
+		}
+	}
 	return nil
 }
 
 // Delete removes the trajectory with the given id from the logical
 // corpus, reporting whether it was present. A delta trajectory is
 // dropped from the overlay; a base trajectory is tombstoned until the
-// next rebuild folds it away. Safe concurrently with queries.
-func (l *Live) Delete(id trajectory.ID) bool {
+// next rebuild folds it away. Safe concurrently with queries. With a
+// WAL attached, a present-and-removed delete is acknowledged only after
+// its record is durable; (false, nil) means the id was not present and
+// nothing was logged.
+func (l *Live) Delete(id trajectory.ID) (bool, error) {
 	l.wmu.Lock()
-	defer l.wmu.Unlock()
 	for _, sh := range l.shards {
 		if u, ok := sh.deltaByID[id]; ok {
+			lsn, err := l.appendDeleteLocked(id)
+			if err != nil {
+				l.wmu.Unlock()
+				return false, err
+			}
 			newDelta := make([]*trajectory.Trajectory, 0, len(sh.delta)-1)
 			for _, d := range sh.delta {
 				if d != u {
@@ -405,13 +486,18 @@ func (l *Live) Delete(id trajectory.ID) bool {
 			}
 			sh.epoch.Store(ep)
 			l.maybeCompact(sh)
-			return true
+			return true, l.ackUnlock(lsn)
 		}
 		if _, gone := sh.dead[id]; gone {
 			continue
 		}
 		if sh.epoch.Load().Base().Users().ByID(id) == nil {
 			continue
+		}
+		lsn, err := l.appendDeleteLocked(id)
+		if err != nil {
+			l.wmu.Unlock()
+			return false, err
 		}
 		newDead := make(map[trajectory.ID]struct{}, len(sh.dead)+1)
 		for d := range sh.dead {
@@ -423,9 +509,36 @@ func (l *Live) Delete(id trajectory.ID) bool {
 		sh.dead = newDead
 		sh.epoch.Store(ep)
 		l.maybeCompact(sh)
-		return true
+		return true, l.ackUnlock(lsn)
 	}
-	return false
+	l.wmu.Unlock()
+	return false, nil
+}
+
+// appendDeleteLocked logs a delete record (no-op without a WAL). Caller
+// holds wmu.
+func (l *Live) appendDeleteLocked(id trajectory.ID) (uint64, error) {
+	if l.log == nil {
+		return 0, nil
+	}
+	lsn, err := l.log.Append(wal.Record{Op: wal.OpDelete, ID: id})
+	if err != nil {
+		return 0, fmt.Errorf("shard: wal append: %w", err)
+	}
+	return lsn, nil
+}
+
+// ackUnlock releases wmu and then waits for lsn to be durable — the
+// tail of every successful write path.
+func (l *Live) ackUnlock(lsn uint64) error {
+	log := l.log
+	l.wmu.Unlock()
+	if log != nil {
+		if err := log.WaitDurable(lsn); err != nil {
+			return fmt.Errorf("shard: wal sync: %w", err)
+		}
+	}
+	return nil
 }
 
 // maybeCompact spawns a background rebuild of a shard when the policy

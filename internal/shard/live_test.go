@@ -173,12 +173,12 @@ func TestLiveChurnMatchesFreshBuild(t *testing.T) {
 					id = k
 					break
 				}
-				if !lv.Delete(id) {
-					t.Fatalf("Delete(%d) reported absent", id)
+				if ok, err := lv.Delete(id); err != nil || !ok {
+					t.Fatalf("Delete(%d) = %v, %v", id, ok, err)
 				}
 				delete(oracle.byID, id)
-				if lv.Delete(id) {
-					t.Fatalf("second Delete(%d) reported present", id)
+				if ok, err := lv.Delete(id); err != nil || ok {
+					t.Fatalf("second Delete(%d) = %v, %v", id, ok, err)
 				}
 			}
 		}
@@ -302,8 +302,8 @@ func TestLiveImmutableInsert(t *testing.T) {
 	if err := lv.Insert(extra); !errors.Is(err, ErrImmutable) {
 		t.Fatalf("Insert = %v, want ErrImmutable", err)
 	}
-	if !lv.Delete(users[0].ID) {
-		t.Fatal("Delete on immutable-insert index failed")
+	if ok, err := lv.Delete(users[0].ID); err != nil || !ok {
+		t.Fatalf("Delete on immutable-insert index = %v, %v", ok, err)
 	}
 	if lv.Len() != 299 {
 		t.Fatalf("Len = %d, want 299", lv.Len())
@@ -352,8 +352,8 @@ func TestLiveDeletesDuringCompact(t *testing.T) {
 		done := make(chan error, 1)
 		go func() { done <- lv.Compact() }()
 		for id := range victims {
-			if !lv.Delete(id) {
-				t.Errorf("round %d: Delete(%d) reported absent", round, id)
+			if ok, err := lv.Delete(id); err != nil || !ok {
+				t.Errorf("round %d: Delete(%d) = %v, %v", round, id, ok, err)
 			}
 		}
 		if err := <-done; err != nil {
@@ -573,8 +573,8 @@ func TestLiveConcurrentChurnPrefixConsistent(t *testing.T) {
 					t.Errorf("Insert: %v", err)
 					return
 				}
-			} else if !lv.Delete(o.delete) {
-				t.Errorf("Delete(%d) reported absent", o.delete)
+			} else if ok, err := lv.Delete(o.delete); err != nil || !ok {
+				t.Errorf("Delete(%d) = %v, %v", o.delete, ok, err)
 				return
 			}
 			if i%8 == 7 {

@@ -35,6 +35,11 @@ var ErrImmutable = shard.ErrImmutable
 // because no usable partitioner survived restore.
 func IsImmutable(err error) bool { return errors.Is(err, ErrImmutable) }
 
+// ErrDuplicateID rejects an Insert whose ID is already in the logical
+// corpus. Typed so callers can tell a client mistake from a durability
+// failure. Test with errors.Is.
+var ErrDuplicateID = shard.ErrDuplicateID
+
 // LivePolicy tunes when a live index folds a shard's pending churn
 // (delta overlay + tombstones) into a fresh frozen base. The zero value
 // rebuilds a shard in the background once 4096 writes are pending or
@@ -132,8 +137,10 @@ func (x *LiveIndex) Len() int { return x.s.Len() }
 func (x *LiveIndex) Insert(u *Trajectory) error { return x.s.Insert(u) }
 
 // Delete removes the trajectory with the given id, reporting whether it
-// was present. Safe concurrently with every query method.
-func (x *LiveIndex) Delete(id ID) bool { return x.s.Delete(id) }
+// was present. Safe concurrently with every query method. The error is
+// always nil without a WAL; with one attached it reports a durability
+// failure (the delete was not acknowledged).
+func (x *LiveIndex) Delete(id ID) (bool, error) { return x.s.Delete(id) }
 
 // Compact synchronously folds all pending writes into a fresh frozen
 // base. Queries and writes proceed during the fold; only the final
@@ -210,6 +217,11 @@ func (x *LiveIndex) TopKParallelCtx(ctx context.Context, facilities []*Facility,
 // consistent per-shard epoch capture.
 type LiveShardedIndex struct {
 	s *shard.Live
+
+	// wal holds the durability state when the index was opened with
+	// OpenLiveShardedIndex; nil for purely in-memory indexes. See
+	// live_wal.go.
+	wal *liveWAL
 }
 
 // LiveShardOptions configures NewLiveShardedIndex.
@@ -276,8 +288,10 @@ func (x *LiveShardedIndex) Insert(u *Trajectory) error { return x.s.Insert(u) }
 // Delete removes the trajectory with the given id from whichever shard
 // holds it, reporting whether it was present. Safe concurrently with
 // every query method — and works even when Insert is ErrImmutable,
-// because deletion routes by ID lookup, not by partitioner.
-func (x *LiveShardedIndex) Delete(id ID) bool { return x.s.Delete(id) }
+// because deletion routes by ID lookup, not by partitioner. The error
+// is always nil without a WAL; with one attached it reports a
+// durability failure (the delete was not acknowledged).
+func (x *LiveShardedIndex) Delete(id ID) (bool, error) { return x.s.Delete(id) }
 
 // Compact synchronously folds every shard's pending writes into fresh
 // frozen bases, one shard at a time.

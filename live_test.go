@@ -59,8 +59,8 @@ func TestLiveIndexMatchesIndex(t *testing.T) {
 		}
 	}
 	for _, u := range base[:300] {
-		if !lv.Delete(u.ID) {
-			t.Fatalf("live Delete(%d) failed", u.ID)
+		if ok, err := lv.Delete(u.ID); err != nil || !ok {
+			t.Fatalf("live Delete(%d) = %v, %v", u.ID, ok, err)
 		}
 		if !ref.Delete(u) {
 			t.Fatalf("ref Delete(%d) failed", u.ID)
@@ -171,8 +171,8 @@ func TestIndexLiveConversion(t *testing.T) {
 	if err := slv.Insert(feed[1]); err != nil {
 		t.Fatal(err)
 	}
-	if !slv.Delete(base[0].ID) {
-		t.Fatal("Delete failed")
+	if ok, err := slv.Delete(base[0].ID); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
 	}
 
 	fidx, err := sidx.Freeze()
@@ -217,8 +217,8 @@ func TestRestoredSnapshotBecomesMutable(t *testing.T) {
 	if err := lv.Insert(feed[0]); err != nil {
 		t.Fatal(err)
 	}
-	if !lv.Delete(base[1].ID) {
-		t.Fatal("Delete failed on restored live index")
+	if ok, err := lv.Delete(base[1].ID); err != nil || !ok {
+		t.Fatalf("Delete on restored live index = %v, %v", ok, err)
 	}
 	want, err := sidx.ServiceValue(routes[0], q)
 	if err != nil {
@@ -308,8 +308,8 @@ func TestErrImmutableTyped(t *testing.T) {
 	if err := lv.Insert(feed[0]); !errors.Is(err, ErrImmutable) {
 		t.Fatalf("live Insert = %v, want ErrImmutable", err)
 	}
-	if !lv.Delete(base[0].ID) {
-		t.Fatal("live Delete failed on unknown-partitioner index")
+	if ok, err := lv.Delete(base[0].ID); err != nil || !ok {
+		t.Fatalf("live Delete on unknown-partitioner index = %v, %v", ok, err)
 	}
 }
 

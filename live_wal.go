@@ -1,0 +1,399 @@
+package trajcover
+
+// Durability for the live serving path. OpenLiveShardedIndex pairs a
+// LiveShardedIndex with a write-ahead log (internal/wal): every
+// acknowledged Insert/Delete is appended to a rotating segment file
+// before its epoch is published, and a write returns to the caller only
+// once the record is durable per the configured sync policy. On boot,
+// Open restores the newest checkpoint (a TQLIVE01 snapshot named after
+// its WAL cut) and replays the post-checkpoint segments on top, so a
+// reopened index serves exactly the logical corpus the crashed process
+// had acknowledged — plus possibly a suffix of appended-but-unacked
+// writes, which is allowed: recovery yields a prefix of the write
+// history that contains every acknowledged write.
+//
+// Checkpoint protocol: capture the per-shard epoch cut and rotate the
+// WAL in one critical section (so the new segment index is an exact
+// cut), stream the capture to checkpoint-<cut>.tqlive via tmp + rename
+// + directory fsync, then drop the pre-cut segments and older
+// checkpoint files. Writes keep flowing the whole time — only the
+// capture itself (microseconds) excludes them.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/trajcover/trajcover/internal/wal"
+)
+
+// WALSyncPolicy selects when an acknowledged write is durable.
+type WALSyncPolicy int
+
+const (
+	// WALSyncAlways fsyncs before acknowledging a write; concurrent
+	// writers share one group-commit fsync. No acknowledged write is
+	// ever lost to a crash.
+	WALSyncAlways WALSyncPolicy = iota
+	// WALSyncInterval fsyncs on a background ticker; a crash may lose
+	// up to the last interval of acknowledged writes.
+	WALSyncInterval
+	// WALSyncNone leaves flushing to the OS page cache; a crash may
+	// lose anything since the last OS writeback (a clean Close still
+	// syncs).
+	WALSyncNone
+)
+
+// String returns the flag spelling ("always", "interval", "none").
+func (p WALSyncPolicy) String() string { return p.policy().String() }
+
+// ParseWALSyncPolicy parses the flag spelling of a policy.
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) {
+	pol, err := wal.ParseSyncPolicy(s)
+	if err != nil {
+		return 0, err
+	}
+	switch pol {
+	case wal.SyncInterval:
+		return WALSyncInterval, nil
+	case wal.SyncNone:
+		return WALSyncNone, nil
+	}
+	return WALSyncAlways, nil
+}
+
+func (p WALSyncPolicy) policy() wal.SyncPolicy {
+	switch p {
+	case WALSyncInterval:
+		return wal.SyncInterval
+	case WALSyncNone:
+		return wal.SyncNone
+	}
+	return wal.SyncAlways
+}
+
+// WALOptions configures OpenLiveShardedIndex.
+type WALOptions struct {
+	// Dir is the WAL directory: segment files plus the newest
+	// checkpoint live here. Created if missing.
+	Dir string
+	// Sync selects the durability policy (default WALSyncAlways).
+	Sync WALSyncPolicy
+	// SyncEvery is the fsync period under WALSyncInterval (0: 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates segment files past this size (0: 64 MiB).
+	SegmentBytes int64
+}
+
+// WALStats is a point-in-time view of the durability layer.
+type WALStats struct {
+	// Records counts appends accepted since open (replayed history is
+	// not re-counted).
+	Records uint64
+	// Segments and Bytes size the live segment files.
+	Segments int
+	Bytes    int64
+	// Fsyncs counts explicit fsyncs; MaxFsync is the slowest observed.
+	Fsyncs   uint64
+	MaxFsync time.Duration
+	// SinceCheckpoint is the time since the last completed checkpoint.
+	SinceCheckpoint time.Duration
+}
+
+// liveWAL is the durability state hung off a LiveShardedIndex opened
+// with OpenLiveShardedIndex.
+type liveWAL struct {
+	dir string
+	// mu serializes checkpoints (capture + file write + truncation).
+	mu sync.Mutex
+	// lastCkpt is the unix-nano completion time of the last checkpoint.
+	lastCkpt atomic.Int64
+}
+
+// checkpointPrefix names checkpoint files; the embedded index is the
+// WAL cut, so the file itself records which segments remain relevant.
+const checkpointPrefix = "checkpoint-"
+
+func checkpointName(cut uint64) string {
+	return fmt.Sprintf("%s%08d.tqlive", checkpointPrefix, cut)
+}
+
+// parseCheckpointName inverts checkpointName; ok is false for foreign
+// files (including in-flight .tmp checkpoints).
+func parseCheckpointName(name string) (uint64, bool) {
+	var cut uint64
+	if _, err := fmt.Sscanf(name, checkpointPrefix+"%d.tqlive", &cut); err != nil {
+		return 0, false
+	}
+	if name != checkpointName(cut) {
+		return 0, false
+	}
+	return cut, true
+}
+
+// latestCheckpoint finds the newest durable checkpoint in dir,
+// returning its cut and path, or ok=false when none exists.
+func latestCheckpoint(dir string) (cut uint64, path string, ok bool, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, "", false, err
+	}
+	for _, e := range ents {
+		if c, isCkpt := parseCheckpointName(e.Name()); isCkpt && (!ok || c > cut) {
+			cut, path, ok = c, filepath.Join(dir, e.Name()), true
+		}
+	}
+	return cut, path, ok, nil
+}
+
+// OpenLiveShardedIndex opens (or creates) a durable live index rooted
+// at opts.Dir. On first open the index comes from bootstrap — a closure
+// building the initial corpus (from a dataset, a snapshot, or empty) —
+// and an initial checkpoint is written immediately, so recovery never
+// depends on reproducing the bootstrap. On later opens bootstrap is NOT
+// called: the newest checkpoint is restored and the post-checkpoint
+// segments are replayed on top. Either way the caller gets an index
+// whose writes are durable per opts.Sync; Close it to release the log.
+func OpenLiveShardedIndex(opts WALOptions, pol LivePolicy, bootstrap func() (*LiveShardedIndex, error)) (*LiveShardedIndex, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("trajcover: WAL dir required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	cut, ckptPath, haveCkpt, err := latestCheckpoint(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var x *LiveShardedIndex
+	if haveCkpt {
+		f, err := os.Open(ckptPath)
+		if err != nil {
+			return nil, err
+		}
+		x, err = ReadLiveSnapshot(f, pol)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trajcover: restore %s: %w", filepath.Base(ckptPath), err)
+		}
+	} else {
+		if x, err = bootstrap(); err != nil {
+			return nil, err
+		}
+		if x == nil {
+			return nil, fmt.Errorf("trajcover: bootstrap returned no index")
+		}
+	}
+	// Replay the acknowledged history since the checkpoint. Apply
+	// failures are corruption: the log recorded only writes the index
+	// had accepted, in apply order.
+	_, _, err = wal.ReplayFrom(opts.Dir, cut, func(rec wal.Record) error {
+		switch rec.Op {
+		case wal.OpInsert:
+			if err := x.s.Insert(rec.Trajectory); err != nil {
+				return fmt.Errorf("%w: replay insert %d: %v", wal.ErrCorrupt, rec.Trajectory.ID, err)
+			}
+		case wal.OpDelete:
+			found, err := x.s.Delete(rec.ID)
+			if err != nil {
+				return err
+			}
+			if !found {
+				return fmt.Errorf("%w: replay delete %d: not present", wal.ErrCorrupt, rec.ID)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(opts.Dir, wal.Options{
+		Sync:         opts.Sync.policy(),
+		SyncEvery:    opts.SyncEvery,
+		SegmentBytes: opts.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	x.s.AttachWAL(log)
+	x.wal = &liveWAL{dir: opts.Dir}
+	// Checkpoint now: the restored-or-bootstrapped state becomes the
+	// recovery base, bounding the next boot's replay to this session's
+	// segments (and freeing the replayed ones).
+	if err := x.Checkpoint(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return x, nil
+}
+
+// Checkpoint writes a durable checkpoint (TQLIVE01 snapshot of a
+// write-consistent epoch cut) into the WAL directory and truncates the
+// segments it covers. Writes and queries keep running; only the epoch
+// capture + WAL rotation (microseconds) excludes writers. Requires an
+// index opened with OpenLiveShardedIndex.
+func (x *LiveShardedIndex) Checkpoint() error {
+	if x.wal == nil {
+		return fmt.Errorf("trajcover: no WAL attached (open with OpenLiveShardedIndex)")
+	}
+	x.wal.mu.Lock()
+	defer x.wal.mu.Unlock()
+	_, err := x.checkpointLocked()
+	return err
+}
+
+// CheckpointTo is Checkpoint that additionally streams the checkpoint
+// bytes to w (e.g. an HTTP response): the local checkpoint is made
+// durable FIRST, then copied out, so a slow or failing client can never
+// leave segments truncated without a durable snapshot covering them.
+func (x *LiveShardedIndex) CheckpointTo(w io.Writer) error {
+	if x.wal == nil {
+		return fmt.Errorf("trajcover: no WAL attached (open with OpenLiveShardedIndex)")
+	}
+	x.wal.mu.Lock()
+	defer x.wal.mu.Unlock()
+	path, err := x.checkpointLocked()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(w, f)
+	f.Close()
+	return err
+}
+
+// checkpointLocked runs one checkpoint and returns the durable
+// checkpoint file's path. Caller holds x.wal.mu.
+func (x *LiveShardedIndex) checkpointLocked() (string, error) {
+	eps, cut, err := x.s.CheckpointCapture()
+	if err != nil {
+		return "", err
+	}
+	final := filepath.Join(x.wal.dir, checkpointName(cut))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	err = writeLiveSnapshot(bw, eps, x.s.PartitionerKind())
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := syncDirPath(x.wal.dir); err != nil {
+		return "", err
+	}
+	// The new checkpoint is durable: pre-cut segments and older
+	// checkpoints are now dead weight. Failures past this point do not
+	// undo the checkpoint.
+	if err := x.s.WAL().RemoveBefore(cut); err != nil {
+		return final, err
+	}
+	if err := removeOldCheckpoints(x.wal.dir, cut); err != nil {
+		return final, err
+	}
+	x.wal.lastCkpt.Store(time.Now().UnixNano())
+	return final, nil
+}
+
+// removeOldCheckpoints drops checkpoint files with cuts below keep,
+// plus any abandoned .tmp files.
+func removeOldCheckpoints(dir string, keep uint64) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var stale []string
+	for _, e := range ents {
+		name := e.Name()
+		if c, ok := parseCheckpointName(name); ok && c < keep {
+			stale = append(stale, name)
+			continue
+		}
+		// Abandoned in-flight checkpoints from a crashed writer.
+		if strings.HasSuffix(name, ".tmp") {
+			if _, ok := parseCheckpointName(strings.TrimSuffix(name, ".tmp")); ok {
+				stale = append(stale, name)
+			}
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if len(stale) > 0 {
+		return syncDirPath(dir)
+	}
+	return nil
+}
+
+// syncDirPath fsyncs a directory so renames/removes in it are durable.
+func syncDirPath(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// WALStats returns durability counters; ok is false for an index with
+// no WAL.
+func (x *LiveShardedIndex) WALStats() (WALStats, bool) {
+	if x.wal == nil {
+		return WALStats{}, false
+	}
+	st := x.s.WAL().Stats()
+	out := WALStats{
+		Records:  st.Records,
+		Segments: st.Segments,
+		Bytes:    st.Bytes,
+		Fsyncs:   st.Fsyncs,
+		MaxFsync: time.Duration(st.MaxFsyncNanos),
+	}
+	if at := x.wal.lastCkpt.Load(); at > 0 {
+		out.SinceCheckpoint = time.Since(time.Unix(0, at))
+	}
+	return out, true
+}
+
+// Close releases the WAL (flushing and fsyncing its tail). Acknowledged
+// writes are durable before Close per the sync policy; Close makes the
+// unacknowledged tail durable too. Queries remain usable; further
+// writes fail. No-op for an index without a WAL. Idempotent.
+func (x *LiveShardedIndex) Close() error {
+	if x.wal == nil {
+		return nil
+	}
+	return x.s.WAL().Close()
+}

@@ -17,7 +17,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"github.com/trajcover/trajcover/internal/wal"
 )
 
 // snapshotFormat is one (writer, reader) pair under test.
@@ -75,8 +80,8 @@ func churnedLiveIndex(t testing.TB, users []*Trajectory) *LiveShardedIndex {
 		}
 	}
 	for _, u := range users[:6] {
-		if !lv.Delete(u.ID) {
-			t.Fatalf("Delete(%d) failed", u.ID)
+		if ok, err := lv.Delete(u.ID); err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v, %v", u.ID, ok, err)
 		}
 	}
 	return lv
@@ -318,5 +323,216 @@ func FuzzReadLiveSnapshot(f *testing.F) {
 	f.Add([]byte("TQLIVE01"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = ReadLiveSnapshot(bytes.NewReader(data), LivePolicy{})
+	})
+}
+
+// --- WAL segment format -------------------------------------------------
+//
+// The same robustness contract extends to the durability log, with one
+// deliberate relaxation: a WAL segment's FINAL record may be torn by a
+// crash mid-append, so a mutation confined to the tail may be *tolerated*
+// (replay drops the torn record and reports torn=true) instead of
+// rejected. Everything else holds: byte-identical round-trip, no panics,
+// and a tolerated replay only ever yields a strict prefix of the
+// original records — never a reordered, altered, or invented one.
+
+// walTestRecords is a small deterministic history of inserts and
+// deletes covering both record codecs.
+func walTestRecords() []wal.Record {
+	users := TaxiTrips(NewYorkCity(), 24, 43)
+	recs := make([]wal.Record, 0, len(users)+6)
+	for _, u := range users {
+		recs = append(recs, wal.Record{Op: wal.OpInsert, Trajectory: u, ID: u.ID})
+	}
+	for _, u := range users[:6] {
+		recs = append(recs, wal.Record{Op: wal.OpDelete, ID: u.ID})
+	}
+	return recs
+}
+
+// walSegmentFile appends recs into a fresh one-segment log and returns
+// the segment's bytes (Close flushes).
+func walSegmentFile(t testing.TB, recs []wal.Record) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	log, err := wal.Open(dir, wal.Options{Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if _, err := log.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := wal.ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("expected one segment, got %v", segs)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("wal-%08d.seg", segs[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// replayWALBytes plants data as the only segment of a fresh directory
+// and replays it, converting panics into errors.
+func replayWALBytes(t testing.TB, data []byte) (recs []wal.Record, torn bool, err error) {
+	t.Helper()
+	dir := t.TempDir()
+	if werr := os.WriteFile(filepath.Join(dir, "wal-00000001.seg"), data, 0o644); werr != nil {
+		t.Fatal(werr)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("PANIC: %v", r)
+		}
+	}()
+	_, torn, err = wal.Replay(dir, func(rec wal.Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	return recs, torn, err
+}
+
+// walRecordsEqual compares two records structurally (points included).
+func walRecordsEqual(a, b wal.Record) bool {
+	if a.Op != b.Op || a.ID != b.ID {
+		return false
+	}
+	if (a.Trajectory == nil) != (b.Trajectory == nil) {
+		return false
+	}
+	if a.Trajectory == nil {
+		return true
+	}
+	ap, bp := a.Trajectory.Points, b.Trajectory.Points
+	if a.Trajectory.ID != b.Trajectory.ID || len(ap) != len(bp) {
+		return false
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// walIsPrefix reports whether got is a strict-or-full prefix of want.
+func walIsPrefix(got, want []wal.Record) bool {
+	if len(got) > len(want) {
+		return false
+	}
+	for i := range got {
+		if !walRecordsEqual(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWALSegmentRoundTripByteIdentical: replaying a segment and
+// re-appending the replayed records into a fresh log reproduces the
+// original segment byte for byte — the encoding is a pure function of
+// the record sequence.
+func TestWALSegmentRoundTripByteIdentical(t *testing.T) {
+	recs := walTestRecords()
+	first := walSegmentFile(t, recs)
+	replayed, torn, err := replayWALBytes(t, first)
+	if err != nil || torn {
+		t.Fatalf("replay of pristine segment: torn=%v err=%v", torn, err)
+	}
+	if !walIsPrefix(replayed, recs) || len(replayed) != len(recs) {
+		t.Fatalf("replay returned %d records, want the original %d", len(replayed), len(recs))
+	}
+	second := walSegmentFile(t, replayed)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("segment rewrite differs (%d vs %d bytes)", len(first), len(second))
+	}
+}
+
+// TestWALSegmentTruncation: every truncation of a segment either fails
+// replay with an error (header or mid-log damage) or is tolerated as a
+// torn tail replaying a strict prefix. Never a panic, never a non-prefix.
+func TestWALSegmentTruncation(t *testing.T) {
+	recs := walTestRecords()
+	data := walSegmentFile(t, recs)
+	step := 1
+	if len(data) > 2048 {
+		step = 7
+	}
+	for cut := 0; cut < len(data); cut += step {
+		got, torn, err := replayWALBytes(t, data[:cut])
+		if err != nil {
+			if strings.HasPrefix(err.Error(), "PANIC") {
+				t.Fatalf("truncation at %d/%d bytes: %v", cut, len(data), err)
+			}
+			continue
+		}
+		if !walIsPrefix(got, recs) {
+			t.Fatalf("truncation at %d/%d bytes replayed a non-prefix (%d records)", cut, len(data), len(got))
+		}
+		// torn=false with a short prefix is legal only when the cut lands
+		// exactly on a record boundary — then the file is bytewise
+		// indistinguishable from a crash right after a complete append.
+		// internal/wal's TestTornTailTruncationTolerated pins that
+		// distinction with boundary bookkeeping; here we only require the
+		// prefix property and no panic.
+		_ = torn
+	}
+}
+
+// TestWALSegmentBitFlip: every single-bit flip either fails replay or —
+// when the damage is confined to the final record, indistinguishable
+// from a torn append — replays a strict prefix with torn reported. A
+// full-length clean replay of flipped bytes is a checksum hole.
+func TestWALSegmentBitFlip(t *testing.T) {
+	recs := walTestRecords()
+	data := walSegmentFile(t, recs)
+	step := 1
+	if len(data) > 2048 {
+		step = 11
+	}
+	for i := 0; i < len(data); i += pick(i < 128 || i >= len(data)-8, 1, step) {
+		data[i] ^= 1 << (i % 8)
+		got, torn, err := replayWALBytes(t, data)
+		data[i] ^= 1 << (i % 8)
+		if err != nil {
+			if strings.HasPrefix(err.Error(), "PANIC") {
+				t.Fatalf("bit flip at byte %d/%d: %v", i, len(data), err)
+			}
+			continue
+		}
+		if !walIsPrefix(got, recs) {
+			t.Fatalf("bit flip at byte %d/%d replayed a non-prefix (%d records)", i, len(data), len(got))
+		}
+		if len(got) == len(recs) {
+			t.Fatalf("bit flip at byte %d/%d accepted as a clean full replay", i, len(data))
+		}
+		if !torn {
+			t.Fatalf("bit flip at byte %d/%d dropped records without reporting torn", i, len(data))
+		}
+	}
+}
+
+// FuzzReplayWALSegment feeds arbitrary bytes as a segment file; replay
+// may reject or tolerate them but never panics and never yields a
+// record the codec would not re-encode.
+func FuzzReplayWALSegment(f *testing.F) {
+	data := walSegmentFile(f, walTestRecords())
+	f.Add(data)
+	if len(data) > 64 {
+		f.Add(data[:64])
+	}
+	f.Add([]byte("TQWAL001"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = replayWALBytes(t, data)
 	})
 }
