@@ -70,6 +70,11 @@ func main() {
 		Title: "extra — WAL append throughput and replay speed vs sync policy (NYT, not in the paper)",
 		Run:   expWAL,
 	})
+	bench.RegisterExtra(bench.Experiment{
+		ID:    "tenants",
+		Title: "extra — quiet-tenant request rate vs noisy co-tenant load, with and without quotas (NYT, not in the paper)",
+		Run:   expTenants,
+	})
 
 	if *list {
 		for _, e := range bench.Registry() {

@@ -10,6 +10,7 @@
 //	tqserve -addr :8080 -snapshot live.tqlive
 //	tqserve -addr :8080 -synthetic 50000 -shards 4
 //	tqserve -addr :8080 -synthetic 50000 -wal-dir /var/lib/tqserve/wal
+//	tqserve -addr :8080 -tenant-root /var/lib/tqserve/tenants -overrides-file limits.yaml
 //
 // The index is either restored from a TQLIVE01 snapshot (-snapshot,
 // written by LiveIndex/LiveShardedIndex.WriteSnapshot or GET
@@ -24,9 +25,21 @@
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/topk -d '{"facilities":[{"id":1,"stops":[[500,500],[800,300]]}],"k":1,"psi":300}'
 //
+// Multi-tenancy: -tenant-root serves one independent index per tenant,
+// each with its own WAL directory <root>/<tenant>/ and checkpoint
+// lineage. Requests pick their tenant with the X-Tenant header or the
+// "tenant" JSON field; writes create tenants lazily, reads of unknown
+// tenants are 404. -synthetic seeds the "default" tenant's first boot
+// (-snapshot is single-tenant only). -overrides-file names a YAML or
+// JSON document of per-tenant admission limits (max_inflight,
+// max_queue, writes_per_sec, max_timeout_ms), re-read on SIGHUP and
+// every -overrides-poll; an invalid rewrite keeps the previous limits
+// and logs the parse error. -tenant-max-open caps concurrently open
+// tenant indexes (idle ones are checkpointed and evicted LRU).
+//
 // On SIGTERM the server stops admitting work (healthz flips to 503 so
 // load balancers drain), finishes in-flight requests up to
-// -drain-timeout, and exits 0.
+// -drain-timeout, and exits 0. SIGHUP reloads the overrides file.
 package main
 
 import (
@@ -44,11 +57,12 @@ import (
 
 	trajcover "github.com/trajcover/trajcover"
 	"github.com/trajcover/trajcover/internal/server"
+	"github.com/trajcover/trajcover/internal/tenant"
 )
 
 func main() {
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	sig := make(chan os.Signal, 4)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
 	if err := run(os.Args[1:], os.Stdout, sig, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "tqserve:", err)
 		os.Exit(1)
@@ -60,67 +74,162 @@ func main() {
 func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr string)) error {
 	fs := flag.NewFlagSet("tqserve", flag.ContinueOnError)
 	var (
-		addr         = fs.String("addr", ":8080", "listen address")
-		snapshot     = fs.String("snapshot", "", "serve a TQLIVE01 snapshot file")
-		synthetic    = fs.Int("synthetic", 0, "serve N synthetic NYC taxi trips (when no -snapshot)")
-		seed         = fs.Int64("seed", 1, "synthetic data seed")
-		shards       = fs.Int("shards", 1, "shard count for -synthetic")
-		partitioner  = fs.String("partitioner", "hash", "partitioner for -synthetic: hash or grid")
-		workers      = fs.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
-		queue        = fs.Int("queue", 64, "admission queue depth (full queue => 429)")
-		timeout      = fs.Duration("timeout", 2*time.Second, "default per-request deadline")
-		maxTimeout   = fs.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
-		maxBody      = fs.Int64("max-body", 8<<20, "request body cap in bytes")
-		maxDelta     = fs.Int("maxdelta", 0, "pending writes per shard before a background rebuild (0 = default 4096)")
-		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "in-flight grace period on SIGTERM")
-		walDir       = fs.String("wal-dir", "", "write-ahead log directory (empty = no durability)")
-		walSync      = fs.String("wal-sync", "always", "WAL sync policy: always, interval, or none")
-		walSyncEvery = fs.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period under -wal-sync interval")
-		walSegBytes  = fs.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation size")
+		addr          = fs.String("addr", ":8080", "listen address")
+		snapshot      = fs.String("snapshot", "", "serve a TQLIVE01 snapshot file")
+		synthetic     = fs.Int("synthetic", 0, "serve N synthetic NYC taxi trips (when no -snapshot)")
+		seed          = fs.Int64("seed", 1, "synthetic data seed")
+		shards        = fs.Int("shards", 1, "shard count for -synthetic")
+		partitioner   = fs.String("partitioner", "hash", "partitioner for -synthetic: hash or grid")
+		workers       = fs.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		queue         = fs.Int("queue", 64, "admission queue depth (full queue => 429)")
+		timeout       = fs.Duration("timeout", 2*time.Second, "default per-request deadline")
+		maxTimeout    = fs.Duration("max-timeout", 30*time.Second, "cap on client-requested deadlines")
+		maxBody       = fs.Int64("max-body", 8<<20, "request body cap in bytes")
+		maxDelta      = fs.Int("maxdelta", 0, "pending writes per shard before a background rebuild (0 = default 4096)")
+		drainTimeout  = fs.Duration("drain-timeout", 15*time.Second, "in-flight grace period on SIGTERM")
+		walDir        = fs.String("wal-dir", "", "write-ahead log directory (empty = no durability; single-tenant)")
+		walSync       = fs.String("wal-sync", "always", "WAL sync policy: always, interval, or none")
+		walSyncEvery  = fs.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period under -wal-sync interval")
+		walSegBytes   = fs.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation size")
+		tenantRoot    = fs.String("tenant-root", "", "multi-tenant WAL root: one index + WAL dir per tenant under it")
+		tenantMaxOpen = fs.Int("tenant-max-open", 0, "max concurrently open tenant indexes (0 = unlimited)")
+		overridesFile = fs.String("overrides-file", "", "per-tenant limits file (YAML or JSON), reloaded on SIGHUP and -overrides-poll")
+		overridesPoll = fs.Duration("overrides-poll", 10*time.Second, "poll period for -overrides-file changes (0 = SIGHUP only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *tenantRoot != "" && *walDir != "" {
+		return fmt.Errorf("-tenant-root and -wal-dir are mutually exclusive (the root holds each tenant's WAL)")
+	}
+	if *tenantRoot != "" && *snapshot != "" {
+		return fmt.Errorf("-snapshot is single-tenant; with -tenant-root use -synthetic to seed the default tenant")
+	}
 
 	pol := trajcover.LivePolicy{MaxDelta: *maxDelta}
-	var idx *trajcover.LiveShardedIndex
-	var err error
-	if *walDir != "" {
+	var srv *server.Server
+	if *tenantRoot != "" {
 		syncPol, perr := trajcover.ParseWALSyncPolicy(*walSync)
 		if perr != nil {
 			return perr
 		}
-		idx, err = trajcover.OpenLiveShardedIndex(trajcover.WALOptions{
-			Dir:          *walDir,
-			Sync:         syncPol,
-			SyncEvery:    *walSyncEvery,
-			SegmentBytes: *walSegBytes,
-		}, pol, func() (*trajcover.LiveShardedIndex, error) {
-			return buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
+		part, perr := parsePartitioner(*partitioner)
+		if perr != nil {
+			return perr
+		}
+		reg, err := trajcover.OpenTenantRegistry(trajcover.TenantRegistryOptions{
+			Root: *tenantRoot,
+			WAL: trajcover.WALOptions{
+				Sync:         syncPol,
+				SyncEvery:    *walSyncEvery,
+				SegmentBytes: *walSegBytes,
+			},
+			Policy:      pol,
+			Shards:      *shards,
+			Partitioner: part,
+			Index:       trajcover.IndexOptions{Ordering: trajcover.ZOrdering},
+			MaxOpen:     *tenantMaxOpen,
+			NewTenant: func(id string) ([]*trajcover.Trajectory, error) {
+				// Only the default tenant gets the -synthetic seed; every
+				// other tenant starts empty on its first write.
+				if id == trajcover.TenantDefault && *synthetic > 0 {
+					return trajcover.TaxiTrips(trajcover.NewYorkCity(), *synthetic, *seed), nil
+				}
+				return nil, nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer reg.Close()
+		if *synthetic > 0 {
+			// Materialize the default tenant now so first-boot reads work;
+			// later boots find it on disk and recover from its WAL.
+			_, release, err := reg.Acquire(trajcover.TenantDefault, true)
+			if err != nil {
+				return fmt.Errorf("seed default tenant: %w", err)
+			}
+			release()
+		}
+		srv = server.NewMulti(reg, server.Config{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+			MaxBodyBytes:   *maxBody,
 		})
 	} else {
-		idx, err = buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
+		var idx *trajcover.LiveShardedIndex
+		var err error
+		if *walDir != "" {
+			syncPol, perr := trajcover.ParseWALSyncPolicy(*walSync)
+			if perr != nil {
+				return perr
+			}
+			idx, err = trajcover.OpenLiveShardedIndex(trajcover.WALOptions{
+				Dir:          *walDir,
+				Sync:         syncPol,
+				SyncEvery:    *walSyncEvery,
+				SegmentBytes: *walSegBytes,
+			}, pol, func() (*trajcover.LiveShardedIndex, error) {
+				return buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
+			})
+		} else {
+			idx, err = buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
+		}
+		if err != nil {
+			return err
+		}
+		defer idx.Close()
+		srv = server.New(idx, server.Config{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+			MaxBodyBytes:   *maxBody,
+		})
 	}
-	if err != nil {
-		return err
-	}
-	defer idx.Close()
 
-	srv := server.New(idx, server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBodyBytes:   *maxBody,
-	})
+	// The overrides watcher: a bad file at boot is a refusal to start; a
+	// bad rewrite later keeps the old limits and logs the reason.
+	var watcher *tenant.Watcher
+	if *overridesFile != "" {
+		watcher = tenant.NewWatcher(*overridesFile,
+			func(o *tenant.Overrides) { srv.SetOverrides(o) },
+			func(err error) { fmt.Fprintln(stdout, "tqserve: overrides:", err) },
+		)
+		if err := watcher.Load(); err != nil {
+			return fmt.Errorf("overrides: %w", err)
+		}
+		srv.SetOverridesStatus(func() server.OverridesSnapshot {
+			reloads, fails := watcher.Stats()
+			return server.OverridesSnapshot{Reloads: reloads, Fails: fails}
+		})
+		if *overridesPoll > 0 {
+			watcher.Start(*overridesPoll)
+			defer watcher.Stop()
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "tqserve: serving %d trajectories across %d shard(s) on %s\n",
-		idx.Len(), idx.NumShards(), ln.Addr())
-	if _, ok := idx.WALStats(); ok {
-		fmt.Fprintf(stdout, "tqserve: wal %s (sync=%s)\n", *walDir, *walSync)
+	if idx := srv.Index(); idx != nil {
+		fmt.Fprintf(stdout, "tqserve: serving %d trajectories across %d shard(s) on %s\n",
+			idx.Len(), idx.NumShards(), ln.Addr())
+	} else {
+		fmt.Fprintf(stdout, "tqserve: serving on %s (no default tenant yet)\n", ln.Addr())
+	}
+	if *tenantRoot != "" {
+		fmt.Fprintf(stdout, "tqserve: tenants under %s (sync=%s)\n", *tenantRoot, *walSync)
+	} else if idx := srv.Index(); idx != nil {
+		if _, ok := idx.WALStats(); ok {
+			fmt.Fprintf(stdout, "tqserve: wal %s (sync=%s)\n", *walDir, *walSync)
+		}
+	}
+	if *overridesFile != "" {
+		fmt.Fprintf(stdout, "tqserve: overrides %s (poll=%s, SIGHUP reloads)\n", *overridesFile, *overridesPoll)
 	}
 	if ready != nil {
 		ready(ln.Addr().String())
@@ -138,7 +247,23 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 	}
 	drained := make(chan error, 1)
 	go func() {
-		<-sig
+		// SIGHUP reloads the overrides file in place; anything else (or a
+		// closed channel) starts the drain.
+		for {
+			s, ok := <-sig
+			if ok && s == syscall.SIGHUP {
+				if watcher == nil {
+					fmt.Fprintln(stdout, "tqserve: SIGHUP ignored (no -overrides-file)")
+					continue
+				}
+				// Failures are logged by the watcher's OnError hook.
+				if err := watcher.Reload(); err == nil {
+					fmt.Fprintln(stdout, "tqserve: overrides reloaded")
+				}
+				continue
+			}
+			break
+		}
 		fmt.Fprintln(stdout, "tqserve: draining")
 		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -161,6 +286,16 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 	return err
 }
 
+func parsePartitioner(name string) (trajcover.Partitioner, error) {
+	switch name {
+	case "hash":
+		return trajcover.HashPartitioner(), nil
+	case "grid":
+		return trajcover.GridPartitioner(), nil
+	}
+	return nil, fmt.Errorf("unknown partitioner %q (want hash or grid)", name)
+}
+
 // buildIndex restores or generates the served index.
 func buildIndex(snapshot string, synthetic int, seed int64, shards int, partitioner string, pol trajcover.LivePolicy) (*trajcover.LiveShardedIndex, error) {
 	if snapshot != "" {
@@ -174,14 +309,9 @@ func buildIndex(snapshot string, synthetic int, seed int64, shards int, partitio
 	if synthetic <= 0 {
 		return nil, fmt.Errorf("need -snapshot or -synthetic N")
 	}
-	var part trajcover.Partitioner
-	switch partitioner {
-	case "hash":
-		part = trajcover.HashPartitioner()
-	case "grid":
-		part = trajcover.GridPartitioner()
-	default:
-		return nil, fmt.Errorf("unknown partitioner %q (want hash or grid)", partitioner)
+	part, err := parsePartitioner(partitioner)
+	if err != nil {
+		return nil, err
 	}
 	users := trajcover.TaxiTrips(trajcover.NewYorkCity(), synthetic, seed)
 	return trajcover.NewLiveShardedIndex(users, trajcover.LiveShardOptions{

@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -194,4 +197,200 @@ func TestRunWALRecovery(t *testing.T) {
 	}
 	stop(sig, done, out)
 	http.DefaultClient.CloseIdleConnections()
+}
+
+// TestRunMultiTenantOverridesReload boots tqserve in multi-tenant mode
+// with an overrides file and drives the full reload story over HTTP:
+// the boot limits throttle a tenant's writes, a loosened rewrite +
+// SIGHUP lifts the limit without a restart, an INVALID rewrite keeps
+// the loosened limits in force (and counts a failure on /statsz), and
+// the poll loop picks up a tightening rewrite with no signal at all.
+func TestRunMultiTenantOverridesReload(t *testing.T) {
+	root := t.TempDir()
+	ovrPath := filepath.Join(t.TempDir(), "limits.yaml")
+	// writes_per_sec 0.001 => burst 1: the first write lands, the second
+	// is a deterministic 429 (the next token is ~17 minutes away).
+	tight := "tenants:\n  t1:\n    writes_per_sec: 0.001\n"
+	if err := os.WriteFile(ovrPath, []byte(tight), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sig := make(chan os.Signal, 4)
+	ready := make(chan string, 1)
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(
+			[]string{"-addr", "127.0.0.1:0", "-tenant-root", root, "-synthetic", "100",
+				"-shards", "2", "-workers", "2", "-queue", "8",
+				"-overrides-file", ovrPath, "-overrides-poll", "25ms"},
+			&out, sig, func(addr string) { ready <- addr },
+		)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before ready: %v\n%s", err, out.String())
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+	if !strings.Contains(out.String(), "tqserve: tenants under "+root) {
+		t.Fatalf("tenant banner missing: %s", out.String())
+	}
+
+	insert := func(id int) (int, string) {
+		t.Helper()
+		body := fmt.Sprintf(`{"id":%d,"points":[[100,100],[200,200]],"tenant":"t1"}`, id)
+		resp, err := http.Post(base+"/v1/insert", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(got)
+	}
+
+	// Boot limits in force: one write per ~17 min for t1.
+	if status, body := insert(1); status != http.StatusOK {
+		t.Fatalf("first t1 insert: %d %s", status, body)
+	}
+	if status, body := insert(2); status != http.StatusTooManyRequests || !strings.Contains(body, "writes_per_sec") {
+		t.Fatalf("second t1 insert: %d %s (want 429 over writes_per_sec)", status, body)
+	}
+	if !dirExistsForTest(filepath.Join(root, "t1")) {
+		t.Fatal("t1 write did not create its tenant directory")
+	}
+
+	// Loosen + SIGHUP: the same write that just bounced must now land —
+	// no restart.
+	if err := os.WriteFile(ovrPath, []byte("tenants:\n  t1:\n    writes_per_sec: -1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sig <- syscall.SIGHUP
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "overrides reloaded") {
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP reload never logged: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status, body := insert(2); status != http.StatusOK {
+		t.Fatalf("t1 insert after loosening: %d %s", status, body)
+	}
+
+	// Invalid rewrite + SIGHUP: the old (loosened) limits stay in force
+	// and the failure is logged and counted.
+	if err := os.WriteFile(ovrPath, []byte("tenants:\n  t1:\n    writes_per_secc: 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sig <- syscall.SIGHUP
+	deadline = time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "keeping previous limits") {
+		if time.Now().After(deadline) {
+			t.Fatalf("invalid reload never logged: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status, body := insert(3); status != http.StatusOK {
+		t.Fatalf("t1 insert after invalid rewrite (limits must not tighten): %d %s", status, body)
+	}
+	var st struct {
+		Overrides *struct {
+			Reloads uint64 `json:"reloads"`
+			Fails   uint64 `json:"fails"`
+		} `json:"overrides"`
+	}
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Overrides == nil || st.Overrides.Reloads != 2 || st.Overrides.Fails == 0 {
+		t.Fatalf("statsz overrides section %+v, want 2 reloads and >=1 fail", st.Overrides)
+	}
+
+	// Tighten again with NO signal: the 25ms poll loop must notice the
+	// rewrite. The re-clamped bucket admits one write, then throttles.
+	if err := os.WriteFile(ovrPath, []byte(tight), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	throttled := false
+	for id := 10; time.Now().Before(deadline); id++ {
+		status, body := insert(id)
+		if status == http.StatusTooManyRequests && strings.Contains(body, "writes_per_sec") {
+			throttled = true
+			break
+		}
+		if status != http.StatusOK {
+			t.Fatalf("insert %d while waiting for poll reload: %d %s", id, status, body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !throttled {
+		t.Fatalf("poll loop never applied the tightened overrides: %s", out.String())
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// TestRunFlagConflictsAndBadOverrides pins the CLI's refusal modes: a
+// bad overrides file at boot, -tenant-root combined with -wal-dir, and
+// -tenant-root with -snapshot are all startup errors, not silent
+// serving with wrong config.
+func TestRunFlagConflictsAndBadOverrides(t *testing.T) {
+	badOvr := filepath.Join(t.TempDir(), "bad.yaml")
+	if err := os.WriteFile(badOvr, []byte("tenants:\n  t1:\n    bogus_key: 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-addr", "127.0.0.1:0", "-tenant-root", t.TempDir(), "-synthetic", "10", "-overrides-file", badOvr},
+		{"-addr", "127.0.0.1:0", "-tenant-root", t.TempDir(), "-wal-dir", t.TempDir(), "-synthetic", "10"},
+		{"-addr", "127.0.0.1:0", "-tenant-root", t.TempDir(), "-snapshot", "x.tqlive"},
+	} {
+		var out bytes.Buffer
+		sig := make(chan os.Signal)
+		if err := run(args, &out, sig, func(string) {}); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// dirExistsForTest mirrors the registry's on-disk tenant check.
+func dirExistsForTest(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}
+
+// syncBuffer is a bytes.Buffer safe for the run goroutine to write
+// while the test polls String.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

@@ -32,6 +32,21 @@
 // without streaming the bytes. /statsz gains a "wal" section with
 // append/fsync counters and the time since the last checkpoint.
 //
+// Multi-tenancy: a server built with NewMulti serves one independent
+// live index per tenant out of a trajcover.TenantRegistry. Requests
+// name their tenant with the X-Tenant header or the "tenant" JSON field
+// (both set and disagreeing is a 400); absent both, the request belongs
+// to the "default" tenant, so single-tenant clients keep working
+// unchanged. Reads of unknown tenants are 404; writes create the tenant
+// lazily (its own WAL directory under the registry root); invalid
+// tenant IDs are 400 before any state can exist. On top of the global
+// worker pool, each tenant passes a per-tenant admission gate —
+// max_inflight, max_queue, and a writes_per_sec token bucket, from a
+// hot-reloadable overrides document (SetOverrides) — and over-quota
+// requests get 429 with Retry-After and a per-tenant reject counter in
+// the /statsz "tenants" section. X-Tenant also selects the tenant of
+// /v1/snapshot, /v1/checkpoint, and /v1/compact.
+//
 // Shutdown protocol: BeginDrain (new work → 503, health → draining),
 // then stop the HTTP listener (http.Server.Shutdown waits for in-flight
 // handlers, whose queued tasks the pool finishes or abandons at their
@@ -42,6 +57,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"runtime"
@@ -51,6 +67,7 @@ import (
 	"time"
 
 	trajcover "github.com/trajcover/trajcover"
+	"github.com/trajcover/trajcover/internal/tenant"
 )
 
 // Config tunes the serving core. The zero value serves with GOMAXPROCS
@@ -105,11 +122,17 @@ type response struct {
 // task is one admitted request: the deadline context, the work closure,
 // and the channel the handler waits on. If the handler gives up at its
 // deadline first, the finished (or skipped) response is simply dropped.
+// started/finished (optional) are the tenant gate's bookkeeping: they
+// run on the worker when the task leaves the queue and when it is done
+// (even for skipped tasks), so a tenant's quota slots are held exactly
+// as long as the tenant genuinely occupies queue + worker capacity.
 type task struct {
-	ctx  context.Context
-	run  func(ctx context.Context) response
-	resp response
-	done chan struct{}
+	ctx      context.Context
+	run      func(ctx context.Context) response
+	resp     response
+	done     chan struct{}
+	started  func()
+	finished func()
 }
 
 // endpointStats is one endpoint's counters, updated with atomics on the
@@ -187,24 +210,47 @@ type WALSnapshot struct {
 	SinceCheckpointSeconds float64 `json:"since_checkpoint_seconds"`
 }
 
-// Stats is the /statsz document.
+// TenantSnapshot is one tenant's /statsz section: its effective limits
+// and its admission-gate counters (including per-reason rejections).
+type TenantSnapshot struct {
+	Limits tenant.Limits       `json:"limits"`
+	Gate   tenant.GateSnapshot `json:"gate"`
+}
+
+// Stats is the /statsz document. Index and WAL describe the default
+// tenant's index (absent when no default tenant exists); Tenants holds
+// one section per tenant that has sent traffic this session.
 type Stats struct {
-	UptimeSeconds float64                     `json:"uptime_seconds"`
-	Workers       int                         `json:"workers"`
-	QueueCap      int                         `json:"queue_cap"`
-	QueueDepth    int                         `json:"queue_depth"`
-	Draining      bool                        `json:"draining"`
-	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
-	Index         IndexSnapshot               `json:"index"`
-	WAL           *WALSnapshot                `json:"wal,omitempty"`
+	UptimeSeconds float64                        `json:"uptime_seconds"`
+	Workers       int                            `json:"workers"`
+	QueueCap      int                            `json:"queue_cap"`
+	QueueDepth    int                            `json:"queue_depth"`
+	Draining      bool                           `json:"draining"`
+	Endpoints     map[string]EndpointSnapshot    `json:"endpoints"`
+	Index         IndexSnapshot                  `json:"index"`
+	WAL           *WALSnapshot                   `json:"wal,omitempty"`
+	Tenants       map[string]TenantSnapshot      `json:"tenants,omitempty"`
+	Registry      *trajcover.TenantRegistryStats `json:"registry,omitempty"`
+	OverridesInfo *OverridesSnapshot             `json:"overrides,omitempty"`
+}
+
+// OverridesSnapshot reports the overrides reload counters /statsz shows
+// (wired by cmd/tqserve from the watcher).
+type OverridesSnapshot struct {
+	Reloads uint64 `json:"reloads"`
+	Fails   uint64 `json:"fails"`
 }
 
 // Server is the worker-pool front end over a live sharded index.
 // Construct with New, expose Handler over any http.Server, and shut
 // down with BeginDrain → HTTP shutdown → Close.
 type Server struct {
-	cfg   Config
+	cfg Config
+	// Exactly one of idx/reg is set: idx is the single-tenant mode (New;
+	// every request belongs to the default tenant), reg the multi-tenant
+	// mode (NewMulti).
 	idx   *trajcover.LiveShardedIndex
+	reg   *trajcover.TenantRegistry
 	queue chan *task
 
 	// qmu makes Close safe against stragglers: enqueues hold the read
@@ -223,6 +269,16 @@ type Server struct {
 	mux        *http.ServeMux
 	stats      map[string]*endpointStats // fixed key set; read-only after New
 	retryAfter string
+
+	// Per-tenant admission state. ovr is the current overrides document
+	// (swapped whole on reload — never partially applied); gates holds
+	// one Gate per tenant that has sent traffic. now is the gates' clock
+	// (nil: time.Now), injectable by tests to pin the write-rate bucket.
+	ovr       atomic.Pointer[tenant.Overrides]
+	gmu       sync.Mutex
+	gates     map[string]*tenant.Gate
+	now       func() time.Time
+	ovrStatus func() OverridesSnapshot
 }
 
 // Endpoint paths, also the /statsz counter keys.
@@ -238,16 +294,31 @@ const (
 	PathStats         = "/statsz"
 )
 
-// New builds a Server over idx and starts its worker pool.
+// New builds a single-tenant Server over idx and starts its worker
+// pool: every request (whatever tenant it names, as long as it is the
+// default) is served from idx.
 func New(idx *trajcover.LiveShardedIndex, cfg Config) *Server {
+	return newServer(idx, nil, cfg)
+}
+
+// NewMulti builds a multi-tenant Server over a registry: each request's
+// tenant resolves to its own live index, lazily created on first write.
+// The registry is the caller's (close it after Close).
+func NewMulti(reg *trajcover.TenantRegistry, cfg Config) *Server {
+	return newServer(nil, reg, cfg)
+}
+
+func newServer(idx *trajcover.LiveShardedIndex, reg *trajcover.TenantRegistry, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:        cfg,
 		idx:        idx,
+		reg:        reg,
 		queue:      make(chan *task, cfg.QueueDepth),
 		start:      time.Now(),
 		mux:        http.NewServeMux(),
 		stats:      map[string]*endpointStats{},
+		gates:      map[string]*tenant.Gate{},
 		retryAfter: strconv.Itoa(int((cfg.RetryAfter + time.Second - 1) / time.Second)),
 	}
 	for _, p := range []string{PathTopK, PathServiceValues, PathInsert, PathDelete, PathCompact, PathSnapshot, PathCheckpoint} {
@@ -272,8 +343,79 @@ func New(idx *trajcover.LiveShardedIndex, cfg Config) *Server {
 // Handler returns the HTTP handler serving every endpoint.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Index returns the served index.
-func (s *Server) Index() *trajcover.LiveShardedIndex { return s.idx }
+// Index returns the default tenant's index (nil when a multi-tenant
+// server has no default tenant yet).
+func (s *Server) Index() *trajcover.LiveShardedIndex {
+	if s.idx != nil {
+		return s.idx
+	}
+	idx, release, err := s.reg.Acquire(tenant.DefaultID, false)
+	if err != nil {
+		return nil
+	}
+	release()
+	return idx
+}
+
+// SetOverrides swaps in a new per-tenant limits document — the whole
+// document atomically, which with ParseOverrides' all-or-nothing
+// validation is what makes "an invalid overrides file keeps the old
+// limits" hold end to end. nil means no limits.
+func (s *Server) SetOverrides(o *tenant.Overrides) { s.ovr.Store(o) }
+
+// SetOverridesStatus installs a callback reporting overrides reload
+// counters on /statsz (wired by cmd/tqserve from the file watcher).
+func (s *Server) SetOverridesStatus(fn func() OverridesSnapshot) { s.ovrStatus = fn }
+
+// limitsFor resolves a tenant's effective limits under the current
+// overrides document.
+func (s *Server) limitsFor(id string) tenant.Limits { return s.ovr.Load().For(id) }
+
+// gateOf returns tenant id's admission gate, creating it on first
+// traffic.
+func (s *Server) gateOf(id string) *tenant.Gate {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	g := s.gates[id]
+	if g == nil {
+		g = &tenant.Gate{Now: s.now}
+		s.gates[id] = g
+	}
+	return g
+}
+
+// resolveTenant extracts the request's tenant from the X-Tenant header
+// and/or the body's "tenant" field: absent both it is the default
+// tenant; set both and disagreeing it is a 400. The ID is validated
+// BEFORE any registry access, so a malformed tenant (path traversal,
+// oversized, non-ASCII) can never create directories or gates.
+func resolveTenant(r *http.Request, bodyTenant string) (string, error) {
+	id := r.Header.Get("X-Tenant")
+	if id == "" {
+		id = bodyTenant
+	} else if bodyTenant != "" && bodyTenant != id {
+		return "", badRequestf("tenant mismatch: X-Tenant header %q vs body tenant %q", id, bodyTenant)
+	}
+	if id == "" {
+		return tenant.DefaultID, nil
+	}
+	if err := tenant.ValidateID(id); err != nil {
+		return "", badRequestf("%v", err)
+	}
+	return id, nil
+}
+
+// acquireTenant resolves a tenant ID to its index plus a release func.
+// In single-tenant mode only the default tenant exists.
+func (s *Server) acquireTenant(id string, create bool) (*trajcover.LiveShardedIndex, func(), error) {
+	if s.reg != nil {
+		return s.reg.Acquire(id, create)
+	}
+	if id != tenant.DefaultID {
+		return nil, nil, fmt.Errorf("%w: %q", trajcover.ErrUnknownTenant, id)
+	}
+	return s.idx, func() {}, nil
+}
 
 // BeginDrain flips the server into draining: /healthz reports 503 (so
 // load balancers stop routing here) and new /v1/* work is rejected with
@@ -322,45 +464,110 @@ func (s *Server) enqueue(t *task) (bool, error) {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for t := range s.queue {
+		if t.started != nil {
+			t.started()
+		}
 		if err := t.ctx.Err(); err != nil {
 			t.resp = errResponse(err)
 		} else {
 			t.resp = t.run(t.ctx)
 		}
+		if t.finished != nil {
+			t.finished()
+		}
 		close(t.done)
 	}
 }
 
-// requestTimeout resolves a request's deadline from its timeout_ms.
-func (s *Server) requestTimeout(timeoutMS int64) time.Duration {
-	if timeoutMS <= 0 {
-		return s.cfg.DefaultTimeout
+// requestTimeout resolves a request's deadline from its timeout_ms,
+// capped by Config.MaxTimeout and the tenant's max_timeout_ms.
+func (s *Server) requestTimeout(timeoutMS int64, lim tenant.Limits) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
 	}
-	d := time.Duration(timeoutMS) * time.Millisecond
-	if d > s.cfg.MaxTimeout {
-		d = s.cfg.MaxTimeout
+	if lim.MaxTimeoutMS > 0 {
+		if tmax := time.Duration(lim.MaxTimeoutMS) * time.Millisecond; d > tmax {
+			d = tmax
+		}
 	}
 	return d
 }
 
-// execute runs one admitted unit of work through the pool: admission
-// (429 on a full queue), deadline propagation, and the wait for either
-// the worker's response or the deadline (504). All terminal paths
-// update the endpoint's counters; only this handler goroutine writes w.
-func (s *Server) execute(w http.ResponseWriter, r *http.Request, ep *endpointStats, timeoutMS int64, run func(ctx context.Context) response) {
+// rejectQuota answers a 429 for a tenant over one of its limits. The
+// gate already counted the per-reason rejection; here it reaches the
+// endpoint counters and the client, with Retry-After like global queue
+// pressure — the client backoff story is the same.
+func (s *Server) rejectQuota(w http.ResponseWriter, ep *endpointStats, tid string, reason tenant.RejectReason) {
+	ep.rejected.Add(1)
+	w.Header().Set("Retry-After", s.retryAfter)
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: fmt.Sprintf("tenant %q over %s", tid, reason)})
+}
+
+// executeTenant runs one unit of work through the pool on behalf of a
+// tenant: per-tenant admission (429 over quota), index resolution (404
+// unknown on reads, lazy create on writes), global admission (429 on a
+// full queue), deadline propagation, and the wait for the worker's
+// response or the deadline (504). Gate slots are held until the worker
+// is genuinely done with the task — not until the handler gives up — so
+// quotas bound real queue + worker occupancy. All terminal paths update
+// the endpoint's counters; only this handler goroutine writes w.
+func (s *Server) executeTenant(w http.ResponseWriter, r *http.Request, ep *endpointStats, tid string, isWrite bool, timeoutMS int64, run func(ctx context.Context, idx *trajcover.LiveShardedIndex) response) {
 	start := time.Now()
 	ep.requests.Add(1)
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(timeoutMS))
-	defer cancel()
-	t := &task{ctx: ctx, run: run, done: make(chan struct{})}
-	ok, err := s.enqueue(t)
+	lim := s.limitsFor(tid)
+	gate := s.gateOf(tid)
+	ok, reason := gate.Admit(lim)
+	if !ok {
+		s.rejectQuota(w, ep, tid, reason)
+		return
+	}
+	if isWrite && !gate.AdmitWrite(lim) {
+		gate.Cancel()
+		s.rejectQuota(w, ep, tid, tenant.RejectRate)
+		return
+	}
+	idx, release, err := s.acquireTenant(tid, isWrite)
 	if err != nil {
+		gate.Cancel()
+		ep.errors.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, trajcover.ErrUnknownTenant) {
+			status = http.StatusNotFound
+		} else if trajcover.IsBadTenantID(err) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(timeoutMS, lim))
+	defer cancel()
+	t := &task{
+		ctx:     ctx,
+		run:     func(ctx context.Context) response { return run(ctx, idx) },
+		done:    make(chan struct{}),
+		started: gate.Started,
+		finished: func() {
+			gate.Finished()
+			release()
+		},
+	}
+	ok, err = s.enqueue(t)
+	if err != nil {
+		gate.Cancel()
+		release()
 		ep.errors.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
 		return
 	}
 	if !ok {
+		gate.Cancel()
+		release()
 		ep.rejected.Add(1)
 		w.Header().Set("Retry-After", s.retryAfter)
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "worker queue full"})
@@ -380,7 +587,8 @@ func (s *Server) execute(w http.ResponseWriter, r *http.Request, ep *endpointSta
 		writeRaw(w, t.resp.status, t.resp.body)
 	case <-ctx.Done():
 		// Deadline or client disconnect while queued or mid-query; the
-		// query layer unwinds on its own and the worker drops the task.
+		// query layer unwinds on its own and the worker drops the task
+		// (releasing the gate slots and the tenant reference then).
 		ep.errors.Add(1)
 		ep.deadline.Add(1)
 		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: ctx.Err().Error()})
@@ -439,8 +647,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.rejectDecode(w, ep, err)
 		return
 	}
-	s.execute(w, r, ep, req.TimeoutMS, func(ctx context.Context) response {
-		res, err := s.idx.TopKParallelCtx(ctx, facs, req.K, q, req.Workers)
+	tid, err := resolveTenant(r, req.Tenant)
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
+	s.executeTenant(w, r, ep, tid, false, req.TimeoutMS, func(ctx context.Context, idx *trajcover.LiveShardedIndex) response {
+		res, err := idx.TopKParallelCtx(ctx, facs, req.K, q, req.Workers)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -459,8 +672,13 @@ func (s *Server) handleServiceValues(w http.ResponseWriter, r *http.Request) {
 		s.rejectDecode(w, ep, err)
 		return
 	}
-	s.execute(w, r, ep, req.TimeoutMS, func(ctx context.Context) response {
-		vs, err := s.idx.ServiceValuesCtx(ctx, facs, q, req.Workers)
+	tid, err := resolveTenant(r, req.Tenant)
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
+	s.executeTenant(w, r, ep, tid, false, req.TimeoutMS, func(ctx context.Context, idx *trajcover.LiveShardedIndex) response {
+		vs, err := idx.ServiceValuesCtx(ctx, facs, q, req.Workers)
 		if err != nil {
 			return errResponse(err)
 		}
@@ -479,8 +697,13 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.rejectDecode(w, ep, err)
 		return
 	}
-	s.execute(w, r, ep, req.TimeoutMS, func(context.Context) response {
-		if err := s.idx.Insert(u); err != nil {
+	tid, err := resolveTenant(r, req.Tenant)
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
+	s.executeTenant(w, r, ep, tid, true, req.TimeoutMS, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
+		if err := idx.Insert(u); err != nil {
 			// Duplicate IDs and unroutable (immutable-restore) inserts
 			// are conflicts with the served corpus, not malformed input;
 			// anything else is a durability failure — the write was NOT
@@ -491,7 +714,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			}
 			return response{status: status, body: mustMarshal(ErrorResponse{Error: err.Error()})}
 		}
-		return response{status: http.StatusOK, body: mustMarshal(InsertResponse{Len: s.idx.Len()})}
+		return response{status: http.StatusOK, body: mustMarshal(InsertResponse{Len: idx.Len()})}
 	})
 }
 
@@ -506,8 +729,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.rejectDecode(w, ep, err)
 		return
 	}
-	s.execute(w, r, ep, req.TimeoutMS, func(context.Context) response {
-		found, err := s.idx.Delete(trajcover.ID(req.ID))
+	tid, err := resolveTenant(r, req.Tenant)
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
+	s.executeTenant(w, r, ep, tid, true, req.TimeoutMS, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
+		found, err := idx.Delete(trajcover.ID(req.ID))
 		if err != nil {
 			// A durability failure: the delete was not acknowledged.
 			return response{status: http.StatusInternalServerError, body: mustMarshal(ErrorResponse{Error: err.Error()})}
@@ -521,10 +749,16 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.admit(w, r, ep); !ok {
 		return
 	}
+	// Compact has no body fields; its tenant comes from X-Tenant alone.
+	tid, err := resolveTenant(r, "")
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
 	// Compact is not deadline-aware below the swap points; give it the
 	// full MaxTimeout rather than the query default.
-	s.execute(w, r, ep, s.cfg.MaxTimeout.Milliseconds(), func(context.Context) response {
-		if err := s.idx.Compact(); err != nil {
+	s.executeTenant(w, r, ep, tid, false, s.cfg.MaxTimeout.Milliseconds(), func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
+		if err := idx.Compact(); err != nil {
 			return response{status: http.StatusInternalServerError, body: mustMarshal(ErrorResponse{Error: err.Error()})}
 		}
 		return response{status: http.StatusOK, body: mustMarshal(CompactResponse{OK: true})}
@@ -554,18 +788,47 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
 		return
 	}
+	idx, release, ok := s.opsTenant(w, r, ep)
+	if !ok {
+		return
+	}
+	defer release()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	var err error
-	if _, hasWAL := s.idx.WALStats(); hasWAL {
-		err = s.idx.CheckpointTo(w)
+	if _, hasWAL := idx.WALStats(); hasWAL {
+		err = idx.CheckpointTo(w)
 	} else {
-		err = s.idx.WriteSnapshot(w)
+		err = idx.WriteSnapshot(w)
 	}
 	if err != nil {
 		// Headers are already gone; all we can do is count and cut the
 		// stream short so the client's CRC check fails loudly.
 		ep.errors.Add(1)
 	}
+}
+
+// opsTenant resolves the tenant of an out-of-pool ops endpoint
+// (/v1/snapshot, /v1/checkpoint) from the X-Tenant header and acquires
+// its index (never creating one). A false return means the error was
+// already written (and counted).
+func (s *Server) opsTenant(w http.ResponseWriter, r *http.Request, ep *endpointStats) (*trajcover.LiveShardedIndex, func(), bool) {
+	tid, err := resolveTenant(r, "")
+	if err != nil {
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return nil, nil, false
+	}
+	idx, release, err := s.acquireTenant(tid, false)
+	if err != nil {
+		ep.errors.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, trajcover.ErrUnknownTenant) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return nil, nil, false
+	}
+	return idx, release, true
 }
 
 // handleCheckpoint runs a WAL checkpoint (durable TQLIVE01 snapshot in
@@ -586,19 +849,24 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
 		return
 	}
-	wst, hasWAL := s.idx.WALStats()
+	idx, release, ok := s.opsTenant(w, r, ep)
+	if !ok {
+		return
+	}
+	defer release()
+	wst, hasWAL := idx.WALStats()
 	if !hasWAL {
 		ep.errors.Add(1)
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "index has no WAL (start tqserve with -wal-dir)"})
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "index has no WAL (start tqserve with -wal-dir or -tenant-root)"})
 		return
 	}
 	defer func() { ep.observe(time.Since(start)) }()
-	if err := s.idx.Checkpoint(); err != nil {
+	if err := idx.Checkpoint(); err != nil {
 		ep.errors.Add(1)
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
-	wst, _ = s.idx.WALStats()
+	wst, _ = idx.WALStats()
 	writeJSON(w, http.StatusOK, CheckpointResponse{OK: true, WALSegments: wst.Segments, WALBytes: wst.Bytes})
 }
 
@@ -615,7 +883,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // Stats snapshots the serving counters — the same document /statsz
-// serves.
+// serves. Index/WAL describe the default tenant (when it exists);
+// Tenants carries each traffic-bearing tenant's effective limits and
+// gate counters.
 func (s *Server) Stats() Stats {
 	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -628,24 +898,41 @@ func (s *Server) Stats() Stats {
 	for p, ep := range s.stats {
 		st.Endpoints[p] = ep.snapshot()
 	}
-	per := s.idx.Stats()
-	st.Index = IndexSnapshot{
-		Len:      s.idx.Len(),
-		Shards:   s.idx.NumShards(),
-		PerShard: per,
-	}
-	if err := s.idx.Err(); err != nil {
-		st.Index.RebuildError = err.Error()
-	}
-	if wst, ok := s.idx.WALStats(); ok {
-		st.WAL = &WALSnapshot{
-			Records:                wst.Records,
-			Segments:               wst.Segments,
-			Bytes:                  wst.Bytes,
-			Fsyncs:                 wst.Fsyncs,
-			MaxFsyncMillis:         float64(wst.MaxFsync.Nanoseconds()) / 1e6,
-			SinceCheckpointSeconds: wst.SinceCheckpoint.Seconds(),
+	if idx := s.Index(); idx != nil {
+		st.Index = IndexSnapshot{
+			Len:      idx.Len(),
+			Shards:   idx.NumShards(),
+			PerShard: idx.Stats(),
 		}
+		if err := idx.Err(); err != nil {
+			st.Index.RebuildError = err.Error()
+		}
+		if wst, ok := idx.WALStats(); ok {
+			st.WAL = &WALSnapshot{
+				Records:                wst.Records,
+				Segments:               wst.Segments,
+				Bytes:                  wst.Bytes,
+				Fsyncs:                 wst.Fsyncs,
+				MaxFsyncMillis:         float64(wst.MaxFsync.Nanoseconds()) / 1e6,
+				SinceCheckpointSeconds: wst.SinceCheckpoint.Seconds(),
+			}
+		}
+	}
+	s.gmu.Lock()
+	if len(s.gates) > 0 {
+		st.Tenants = make(map[string]TenantSnapshot, len(s.gates))
+		for id, g := range s.gates {
+			st.Tenants[id] = TenantSnapshot{Limits: s.limitsFor(id), Gate: g.Snapshot()}
+		}
+	}
+	s.gmu.Unlock()
+	if s.reg != nil {
+		rst := s.reg.Stats()
+		st.Registry = &rst
+	}
+	if s.ovrStatus != nil {
+		ost := s.ovrStatus()
+		st.OverridesInfo = &ost
 	}
 	return st
 }

@@ -72,8 +72,12 @@ type QueryRequest struct {
 	// request's latency.
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMS overrides the server's default per-request deadline,
-	// capped at Config.MaxTimeout.
+	// capped at Config.MaxTimeout (and the tenant's max_timeout_ms).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Tenant names the tenant this query runs against; it must agree
+	// with the X-Tenant header when both are set. Empty means the
+	// header's tenant, or "default".
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // InsertRequest is the body of /v1/insert.
@@ -81,12 +85,18 @@ type InsertRequest struct {
 	ID        uint32       `json:"id"`
 	Points    [][2]float64 `json:"points"`
 	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+	// Tenant names the tenant receiving the write (lazily created on
+	// first write); see QueryRequest.Tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // DeleteRequest is the body of /v1/delete.
 type DeleteRequest struct {
 	ID        uint32 `json:"id"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	// Tenant names the tenant receiving the write; see
+	// QueryRequest.Tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // RankedJSON is one facility of a top-k answer on the wire.

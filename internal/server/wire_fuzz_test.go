@@ -8,8 +8,11 @@ package server
 
 import (
 	"math"
+	"net/http"
 	"strings"
 	"testing"
+
+	"github.com/trajcover/trajcover/internal/tenant"
 )
 
 func FuzzDecodeRequest(f *testing.F) {
@@ -26,6 +29,20 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"k":-1,"psi":-5}`,
 		`{"facilities":[{"id":1,"stops":[[1,2]]}],"k":1,"psi":10,"timeout_ms":-9}`,
 		`[]`, `null`, `{}`, `{"facilities":`, "\x00\x01\x02", strings.Repeat(`{"a":`, 1000),
+		// Tenant corpus: legal names, the empty field, path traversal,
+		// oversized, separators, and non-ASCII — everything the tenant
+		// layer must 4xx without ever touching the filesystem.
+		`{"facilities":[{"id":1,"stops":[[1,2]]}],"k":1,"psi":10,"tenant":"acme"}`,
+		`{"id":9001,"points":[[1,2],[3,4]],"tenant":"a-b.c_9"}`,
+		`{"id":9001,"points":[[1,2],[3,4]],"tenant":""}`,
+		`{"id":9001,"tenant":"../../etc"}`,
+		`{"id":9001,"tenant":".."}`,
+		`{"id":9001,"tenant":"a/b"}`,
+		`{"id":9001,"tenant":"` + strings.Repeat("x", 65) + `"}`,
+		`{"id":9001,"tenant":".hidden"}`,
+		`{"id":9001,"tenant":"-dash"}`,
+		`{"id":9001,"tenant":"éclair"}`,
+		`{"tenant":"t1","id":3}`,
 	}
 	for _, s := range seeds {
 		for kind := byte(0); kind < 3; kind++ {
@@ -46,6 +63,7 @@ func FuzzDecodeRequest(f *testing.F) {
 			if req.Workers < 1 || req.Workers > MaxRequestWorkers {
 				t.Fatalf("accepted workers=%d (must normalize to [1, %d] so the pool bounds CPU)", req.Workers, MaxRequestWorkers)
 			}
+			requireSafeTenant(t, req.Tenant)
 			if req.TimeoutMS < 0 {
 				t.Fatalf("accepted timeout_ms=%d", req.TimeoutMS)
 			}
@@ -77,6 +95,7 @@ func FuzzDecodeRequest(f *testing.F) {
 			if u.Len() < 2 || u.Len() > MaxPoints {
 				t.Fatalf("accepted trajectory with %d points", u.Len())
 			}
+			requireSafeTenant(t, req.Tenant)
 			for _, p := range u.Points {
 				if !finite(p.X) || !finite(p.Y) {
 					t.Fatalf("accepted non-finite point %+v", p)
@@ -91,6 +110,61 @@ func FuzzDecodeRequest(f *testing.F) {
 			if req.TimeoutMS < 0 {
 				t.Fatalf("accepted timeout_ms=%d", req.TimeoutMS)
 			}
+			requireSafeTenant(t, req.Tenant)
+		}
+	})
+}
+
+// requireSafeTenant pins the decode → resolve pipeline for a decoded
+// body tenant: resolveTenant must either reject it as a 4xx or hand
+// back a validated safe ID — the only two outcomes that can't create
+// filesystem state for a hostile tenant name.
+func requireSafeTenant(t *testing.T, bodyTenant string) {
+	t.Helper()
+	r := &http.Request{Header: http.Header{}}
+	id, err := resolveTenant(r, bodyTenant)
+	if err != nil {
+		requireBadRequest(t, err)
+		return
+	}
+	if err := tenant.ValidateID(id); err != nil {
+		t.Fatalf("resolveTenant accepted %q as %q which fails validation: %v", bodyTenant, id, err)
+	}
+}
+
+// FuzzResolveTenant throws arbitrary header/body tenant pairs at
+// resolveTenant: whatever the bytes, the result is either a 4xx-mapped
+// error or an ID that validates as a single safe path component —
+// never a panic, never traversal, never an over-long name, and a
+// header/body disagreement is always an error.
+func FuzzResolveTenant(f *testing.F) {
+	for _, pair := range [][2]string{
+		{"", ""}, {"acme", ""}, {"", "acme"}, {"acme", "acme"},
+		{"acme", "other"}, {"../evil", ""}, {"", "../evil"},
+		{"..", ".."}, {"a/b", ""}, {strings.Repeat("x", 65), ""},
+		{".hidden", ""}, {"-x", ""}, {"a b", ""}, {"é", "é"},
+		{"x\x00y", ""}, {"default", ""},
+	} {
+		f.Add(pair[0], pair[1])
+	}
+	f.Fuzz(func(t *testing.T, header, body string) {
+		r := &http.Request{Header: http.Header{}}
+		if header != "" {
+			r.Header.Set("X-Tenant", header)
+		}
+		id, err := resolveTenant(r, body)
+		if err != nil {
+			requireBadRequest(t, err)
+			return
+		}
+		if err := tenant.ValidateID(id); err != nil {
+			t.Fatalf("resolveTenant(%q, %q) = %q, fails validation: %v", header, body, id, err)
+		}
+		if strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") || len(id) > tenant.MaxIDLen {
+			t.Fatalf("resolveTenant(%q, %q) = %q is not a safe path component", header, body, id)
+		}
+		if header != "" && body != "" && header != body {
+			t.Fatalf("resolveTenant(%q, %q) accepted a header/body mismatch", header, body)
 		}
 	})
 }

@@ -1,0 +1,364 @@
+package tenant
+
+// Per-tenant admission limits and the overrides document that carries
+// them. The file format is a two-level map — defaults plus per-tenant
+// entries — accepted as JSON or as a small YAML subset (flat nested
+// maps of scalar values, comments, blank lines; no anchors, flow
+// collections, or multi-line scalars), so an operator can keep the
+// overrides file in either idiom without pulling a YAML dependency into
+// the serving binary:
+//
+//	defaults:
+//	  max_inflight: 64
+//	  max_queue: 32
+//	tenants:
+//	  noisy:
+//	    max_inflight: 2
+//	    writes_per_sec: 10
+//	  batch:
+//	    max_timeout_ms: 120000
+//
+// Field semantics (each independently): 0 means "inherit the default"
+// in a tenant entry and "unlimited" in defaults; -1 means "explicitly
+// unlimited" (a tenant entry can widen past a restrictive default);
+// positive values limit. ParseOverrides validates everything — tenant
+// IDs, field ranges, unknown keys — and returns an error rather than a
+// partially applied document, which is what lets the reload path keep
+// the old configuration when a new file is bad.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Unlimited is the explicit "no limit" value a tenant entry uses to
+// widen past a restrictive default (0 would mean "inherit").
+const Unlimited = -1
+
+// Limits is one tenant's admission configuration. The zero value is
+// fully unlimited.
+type Limits struct {
+	// MaxInflight caps the tenant's admitted-and-unfinished pooled
+	// requests (queued + running). Excess is rejected 429.
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// MaxQueue caps how many of those admitted requests may be waiting
+	// for a worker. Excess is rejected 429.
+	MaxQueue int `json:"max_queue,omitempty"`
+	// WritesPerSec token-buckets /v1/insert and /v1/delete (burst =
+	// max(1, rate)). Excess is rejected 429.
+	WritesPerSec float64 `json:"writes_per_sec,omitempty"`
+	// MaxTimeoutMS caps the tenant's per-request deadline below the
+	// server-wide Config.MaxTimeout.
+	MaxTimeoutMS int64 `json:"max_timeout_ms,omitempty"`
+}
+
+// validate rejects out-of-range fields; where names the entry in errors.
+func (l Limits) validate(where string) error {
+	checkInt := func(field string, v int64) error {
+		if v < Unlimited {
+			return fmt.Errorf("tenant: %s: %s must be >= -1, got %d", where, field, v)
+		}
+		return nil
+	}
+	if err := checkInt("max_inflight", int64(l.MaxInflight)); err != nil {
+		return err
+	}
+	if err := checkInt("max_queue", int64(l.MaxQueue)); err != nil {
+		return err
+	}
+	if err := checkInt("max_timeout_ms", l.MaxTimeoutMS); err != nil {
+		return err
+	}
+	if math.IsNaN(l.WritesPerSec) || math.IsInf(l.WritesPerSec, 0) || (l.WritesPerSec < 0 && l.WritesPerSec != Unlimited) {
+		return fmt.Errorf("tenant: %s: writes_per_sec must be finite and >= 0 (or -1 for unlimited), got %v", where, l.WritesPerSec)
+	}
+	return nil
+}
+
+// Overrides is the limits document: defaults plus per-tenant entries.
+type Overrides struct {
+	Defaults Limits            `json:"defaults,omitempty"`
+	Tenants  map[string]Limits `json:"tenants,omitempty"`
+}
+
+// resolve merges one field: a tenant's 0 inherits the default, -1 is
+// explicitly unlimited (normalized to 0 so consumers test `> 0`).
+func resolveInt(tenant, def int) int {
+	v := def
+	if tenant != 0 {
+		v = tenant
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func resolveFloat(tenant, def float64) float64 {
+	v := def
+	if tenant != 0 {
+		v = tenant
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// For returns the effective limits of one tenant: per field, the
+// tenant's entry when set, else the default; explicit -1 normalized to
+// 0 (= unlimited). A nil Overrides is fully unlimited.
+func (o *Overrides) For(id string) Limits {
+	if o == nil {
+		return Limits{}
+	}
+	t := o.Tenants[id]
+	return Limits{
+		MaxInflight:  resolveInt(t.MaxInflight, o.Defaults.MaxInflight),
+		MaxQueue:     resolveInt(t.MaxQueue, o.Defaults.MaxQueue),
+		WritesPerSec: resolveFloat(t.WritesPerSec, o.Defaults.WritesPerSec),
+		MaxTimeoutMS: int64(resolveInt(int(t.MaxTimeoutMS), int(o.Defaults.MaxTimeoutMS))),
+	}
+}
+
+// validate checks every entry; parse paths call it so no invalid
+// document ever leaves this package.
+func (o *Overrides) validate() error {
+	if err := o.Defaults.validate("defaults"); err != nil {
+		return err
+	}
+	// Deterministic error selection keeps test output stable.
+	ids := make([]string, 0, len(o.Tenants))
+	for id := range o.Tenants {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := ValidateID(id); err != nil {
+			return fmt.Errorf("tenant: overrides: bad tenant key: %w", err)
+		}
+		if err := o.Tenants[id].validate("tenant " + id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseOverrides parses and validates an overrides document. The first
+// non-space byte selects the syntax: '{' is strict JSON, anything else
+// the YAML subset. An empty (or comment-only) document is valid and
+// fully unlimited. Any syntax error, unknown key, bad tenant ID, or
+// out-of-range value fails the whole document — the caller keeps
+// whatever configuration it already had.
+func ParseOverrides(data []byte) (*Overrides, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) > 0 && trimmed[0] == '{' {
+		var o Overrides
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&o); err != nil {
+			return nil, fmt.Errorf("tenant: overrides json: %w", err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("tenant: overrides json: trailing data after document")
+		}
+		if err := o.validate(); err != nil {
+			return nil, err
+		}
+		return &o, nil
+	}
+	o, err := parseOverridesYAML(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// LoadOverridesFile reads and parses path.
+func LoadOverridesFile(path string) (*Overrides, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseOverrides(data)
+}
+
+// yamlLine is one significant line of the subset: its indent depth, key,
+// and value ("" for a map-opening "key:" line).
+type yamlLine struct {
+	n      int // 1-based source line, for errors
+	indent int
+	key    string
+	value  string
+	hasVal bool
+}
+
+// parseOverridesYAML parses the indentation subset. It is deliberately
+// small and total: every input either parses or returns an error —
+// FuzzLoadOverrides holds it to "never panic".
+func parseOverridesYAML(data []byte) (*Overrides, error) {
+	lines, err := yamlLines(data)
+	if err != nil {
+		return nil, err
+	}
+	o := &Overrides{}
+	i := 0
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent != 0 {
+			return nil, fmt.Errorf("tenant: overrides yaml line %d: unexpected indentation", ln.n)
+		}
+		if ln.hasVal {
+			return nil, fmt.Errorf("tenant: overrides yaml line %d: top-level %q must open a map, not hold a value", ln.n, ln.key)
+		}
+		switch ln.key {
+		case "defaults":
+			lim, next, err := parseLimitsBlock(lines, i+1, ln.indent)
+			if err != nil {
+				return nil, err
+			}
+			o.Defaults = lim
+			i = next
+		case "tenants":
+			next, err := parseTenantsBlock(lines, i+1, ln.indent, o)
+			if err != nil {
+				return nil, err
+			}
+			i = next
+		default:
+			return nil, fmt.Errorf("tenant: overrides yaml line %d: unknown top-level key %q (want defaults or tenants)", ln.n, ln.key)
+		}
+	}
+	return o, nil
+}
+
+// parseTenantsBlock consumes the tenant entries nested under "tenants:".
+func parseTenantsBlock(lines []yamlLine, i, parentIndent int, o *Overrides) (int, error) {
+	if o.Tenants == nil {
+		o.Tenants = map[string]Limits{}
+	}
+	var blockIndent = -1
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent <= parentIndent {
+			return i, nil
+		}
+		if blockIndent == -1 {
+			blockIndent = ln.indent
+		}
+		if ln.indent != blockIndent {
+			return 0, fmt.Errorf("tenant: overrides yaml line %d: inconsistent indentation", ln.n)
+		}
+		if ln.hasVal {
+			return 0, fmt.Errorf("tenant: overrides yaml line %d: tenant %q must open a map of limits", ln.n, ln.key)
+		}
+		if _, dup := o.Tenants[ln.key]; dup {
+			return 0, fmt.Errorf("tenant: overrides yaml line %d: duplicate tenant %q", ln.n, ln.key)
+		}
+		lim, next, err := parseLimitsBlock(lines, i+1, ln.indent)
+		if err != nil {
+			return 0, err
+		}
+		o.Tenants[ln.key] = lim
+		i = next
+	}
+	return i, nil
+}
+
+// parseLimitsBlock consumes "key: value" lines nested deeper than
+// parentIndent into one Limits.
+func parseLimitsBlock(lines []yamlLine, i, parentIndent int) (Limits, int, error) {
+	var lim Limits
+	blockIndent := -1
+	seen := map[string]bool{}
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent <= parentIndent {
+			return lim, i, nil
+		}
+		if blockIndent == -1 {
+			blockIndent = ln.indent
+		}
+		if ln.indent != blockIndent {
+			return lim, 0, fmt.Errorf("tenant: overrides yaml line %d: inconsistent indentation", ln.n)
+		}
+		if !ln.hasVal {
+			return lim, 0, fmt.Errorf("tenant: overrides yaml line %d: %q needs a scalar value", ln.n, ln.key)
+		}
+		if seen[ln.key] {
+			return lim, 0, fmt.Errorf("tenant: overrides yaml line %d: duplicate key %q", ln.n, ln.key)
+		}
+		seen[ln.key] = true
+		switch ln.key {
+		case "max_inflight", "max_queue", "max_timeout_ms":
+			v, err := strconv.ParseInt(ln.value, 10, 64)
+			if err != nil {
+				return lim, 0, fmt.Errorf("tenant: overrides yaml line %d: %s: %v", ln.n, ln.key, err)
+			}
+			switch ln.key {
+			case "max_inflight":
+				lim.MaxInflight = int(v)
+			case "max_queue":
+				lim.MaxQueue = int(v)
+			case "max_timeout_ms":
+				lim.MaxTimeoutMS = v
+			}
+		case "writes_per_sec":
+			v, err := strconv.ParseFloat(ln.value, 64)
+			if err != nil {
+				return lim, 0, fmt.Errorf("tenant: overrides yaml line %d: writes_per_sec: %v", ln.n, err)
+			}
+			lim.WritesPerSec = v
+		default:
+			return lim, 0, fmt.Errorf("tenant: overrides yaml line %d: unknown limit %q", ln.n, ln.key)
+		}
+		i++
+	}
+	return lim, i, nil
+}
+
+// yamlLines splits the document into significant lines: comments and
+// blanks dropped, indentation counted in leading spaces (tabs are an
+// error: silently treating a tab as N spaces is how YAML files lie).
+func yamlLines(data []byte) ([]yamlLine, error) {
+	var out []yamlLine
+	for n, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		rest := line[indent:]
+		if rest == "" || rest[0] == '#' {
+			continue
+		}
+		if strings.ContainsRune(rest, '\t') || (indent < len(line) && line[indent] == '\t') {
+			return nil, fmt.Errorf("tenant: overrides yaml line %d: tabs are not allowed", n+1)
+		}
+		key, value, found := strings.Cut(rest, ":")
+		if !found {
+			return nil, fmt.Errorf("tenant: overrides yaml line %d: expected \"key: value\" or \"key:\"", n+1)
+		}
+		key = strings.TrimSpace(key)
+		if key == "" {
+			return nil, fmt.Errorf("tenant: overrides yaml line %d: empty key", n+1)
+		}
+		// Strip a trailing comment from the scalar; values here are
+		// numbers, so a '#' can only start a comment.
+		if j := strings.IndexByte(value, '#'); j >= 0 {
+			value = value[:j]
+		}
+		value = strings.TrimSpace(value)
+		out = append(out, yamlLine{n: n + 1, indent: indent, key: key, value: value, hasVal: value != ""})
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+const sampleYAML = `# fleet-wide floor
+defaults:
+  max_inflight: 64
+  max_queue: 32
+
+tenants:
+  noisy:
+    max_inflight: 2
+    writes_per_sec: 10
+  batch:
+    max_timeout_ms: 120000  # long scans
+  vip:
+    max_inflight: -1
+`
+
+func sampleWant() *Overrides {
+	return &Overrides{
+		Defaults: Limits{MaxInflight: 64, MaxQueue: 32},
+		Tenants: map[string]Limits{
+			"noisy": {MaxInflight: 2, WritesPerSec: 10},
+			"batch": {MaxTimeoutMS: 120000},
+			"vip":   {MaxInflight: Unlimited},
+		},
+	}
+}
+
+func TestParseOverridesYAML(t *testing.T) {
+	o, err := ParseOverrides([]byte(sampleYAML))
+	if err != nil {
+		t.Fatalf("ParseOverrides: %v", err)
+	}
+	if !reflect.DeepEqual(o, sampleWant()) {
+		t.Fatalf("parsed %+v, want %+v", o, sampleWant())
+	}
+}
+
+func TestParseOverridesJSON(t *testing.T) {
+	src := `{
+  "defaults": {"max_inflight": 64, "max_queue": 32},
+  "tenants": {
+    "noisy": {"max_inflight": 2, "writes_per_sec": 10},
+    "batch": {"max_timeout_ms": 120000},
+    "vip": {"max_inflight": -1}
+  }
+}`
+	o, err := ParseOverrides([]byte(src))
+	if err != nil {
+		t.Fatalf("ParseOverrides: %v", err)
+	}
+	if !reflect.DeepEqual(o, sampleWant()) {
+		t.Fatalf("parsed %+v, want %+v", o, sampleWant())
+	}
+}
+
+func TestParseOverridesEmpty(t *testing.T) {
+	for _, src := range []string{"", "\n\n", "# only comments\n  # indented comment\n"} {
+		o, err := ParseOverrides([]byte(src))
+		if err != nil {
+			t.Fatalf("ParseOverrides(%q): %v", src, err)
+		}
+		if lim := o.For("anyone"); lim != (Limits{}) {
+			t.Fatalf("empty document gave limits %+v", lim)
+		}
+	}
+}
+
+func TestParseOverridesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown top-level", "pools:\n  a: 1\n"},
+		{"top-level scalar", "defaults: 3\n"},
+		{"unknown limit", "defaults:\n  max_foo: 1\n"},
+		{"bad int", "defaults:\n  max_inflight: many\n"},
+		{"below -1", "defaults:\n  max_inflight: -2\n"},
+		{"nan rate", `{"defaults": {"writes_per_sec": -3}}`},
+		{"bad tenant id", "tenants:\n  ../evil:\n    max_inflight: 1\n"},
+		{"tenant scalar", "tenants:\n  a: 1\n"},
+		{"duplicate tenant", "tenants:\n  a:\n    max_queue: 1\n  a:\n    max_queue: 2\n"},
+		{"duplicate key", "defaults:\n  max_queue: 1\n  max_queue: 2\n"},
+		{"tab indent", "defaults:\n\tmax_queue: 1\n"},
+		{"inconsistent indent", "tenants:\n  a:\n    max_queue: 1\n   b:\n    max_queue: 2\n"},
+		{"no colon", "defaults\n"},
+		{"empty key", ": 3\n"},
+		{"json unknown field", `{"defaults": {"max_requests": 1}}`},
+		{"json trailing", `{"defaults": {}} {"tenants": {}}`},
+		{"json bad tenant", `{"tenants": {"a/b": {"max_queue": 1}}}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseOverrides([]byte(c.src)); err == nil {
+			t.Errorf("%s: ParseOverrides accepted %q", c.name, c.src)
+		}
+	}
+}
+
+func TestOverridesFor(t *testing.T) {
+	o, err := ParseOverrides([]byte(sampleYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown tenant inherits the defaults wholesale.
+	if lim := o.For("quiet"); lim != (Limits{MaxInflight: 64, MaxQueue: 32}) {
+		t.Fatalf("quiet: %+v", lim)
+	}
+	// Set fields override, unset fields inherit.
+	if lim := o.For("noisy"); lim != (Limits{MaxInflight: 2, MaxQueue: 32, WritesPerSec: 10}) {
+		t.Fatalf("noisy: %+v", lim)
+	}
+	// Explicit -1 widens past the default and normalizes to 0.
+	if lim := o.For("vip"); lim != (Limits{MaxInflight: 0, MaxQueue: 32}) {
+		t.Fatalf("vip: %+v", lim)
+	}
+	// nil receiver is fully unlimited.
+	var nilo *Overrides
+	if lim := nilo.For("x"); lim != (Limits{}) {
+		t.Fatalf("nil: %+v", lim)
+	}
+}
+
+func TestLoadOverridesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "overrides.yaml")
+	if err := os.WriteFile(path, []byte(sampleYAML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err := LoadOverridesFile(path)
+	if err != nil {
+		t.Fatalf("LoadOverridesFile: %v", err)
+	}
+	if !reflect.DeepEqual(o, sampleWant()) {
+		t.Fatalf("loaded %+v", o)
+	}
+	if _, err := LoadOverridesFile(filepath.Join(dir, "missing.yaml")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWatcherKeepsOldOnInvalid(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "overrides.yaml")
+	if err := os.WriteFile(path, []byte("defaults:\n  max_inflight: 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var swaps int
+	var lastErr error
+	w := NewWatcher(path,
+		func(*Overrides) { swaps++ },
+		func(err error) { lastErr = err })
+	if err := w.Load(); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := w.Current().For("x").MaxInflight; got != 4 {
+		t.Fatalf("initial max_inflight = %d", got)
+	}
+
+	// Invalid rewrite: old document must stay in force, error surfaced.
+	if err := os.WriteFile(path, []byte("defaults:\n  max_inflight: banana\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w.Reload()
+	if lastErr == nil {
+		t.Fatal("invalid reload produced no error")
+	}
+	if got := w.Current().For("x").MaxInflight; got != 4 {
+		t.Fatalf("invalid reload changed limits: max_inflight = %d", got)
+	}
+	if reloads, fails := w.Stats(); reloads != 1 || fails != 1 {
+		t.Fatalf("stats = (%d, %d), want (1, 1)", reloads, fails)
+	}
+
+	// Valid rewrite swaps in.
+	if err := os.WriteFile(path, []byte("defaults:\n  max_inflight: 9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w.Reload()
+	if got := w.Current().For("x").MaxInflight; got != 9 {
+		t.Fatalf("valid reload ignored: max_inflight = %d", got)
+	}
+	if swaps != 2 {
+		t.Fatalf("swaps = %d, want 2", swaps)
+	}
+}
+
+func TestWatcherPolling(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "overrides.yaml")
+	if err := os.WriteFile(path, []byte("defaults:\n  max_queue: 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	swapped := make(chan *Overrides, 8)
+	w := NewWatcher(path, func(o *Overrides) { swapped <- o }, nil)
+	if err := w.Load(); err != nil {
+		t.Fatal(err)
+	}
+	<-swapped // initial Load
+	w.Start(5 * time.Millisecond)
+	defer w.Stop()
+
+	// Size change guarantees the poll loop notices even on coarse mtimes.
+	if err := os.WriteFile(path, []byte("defaults:\n  max_queue: 123\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case o := <-swapped:
+		if got := o.For("x").MaxQueue; got != 123 {
+			t.Fatalf("polled reload max_queue = %d", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("poll loop never picked up the rewrite")
+	}
+}
+
+func TestWatcherStopWithoutStart(t *testing.T) {
+	w := NewWatcher("nowhere", nil, nil)
+	w.Stop() // must not deadlock
+	w.Stop() // and must be idempotent
+}

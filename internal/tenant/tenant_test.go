@@ -1,0 +1,65 @@
+package tenant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateID(t *testing.T) {
+	good := []string{
+		"default",
+		"a",
+		"0",
+		"tenant-1",
+		"Tenant_2",
+		"a.b.c",
+		"x" + strings.Repeat("y", MaxIDLen-1),
+		"9lives",
+		"a-",
+		"a_",
+		"a.",
+	}
+	for _, id := range good {
+		if err := ValidateID(id); err != nil {
+			t.Errorf("ValidateID(%q) = %v, want nil", id, err)
+		}
+	}
+	bad := []string{
+		"",
+		strings.Repeat("a", MaxIDLen+1),
+		"..",
+		"a..b",
+		"../etc",
+		"a/b",
+		"a\\b",
+		"a b",
+		"a\x00b",
+		"a\nb",
+		".hidden",
+		"-flag",
+		"_x",
+		"héllo",
+		"tenant:1",
+		"a\tb",
+	}
+	for _, id := range bad {
+		err := ValidateID(id)
+		if err == nil {
+			t.Errorf("ValidateID(%q) = nil, want error", id)
+			continue
+		}
+		if !IsBadID(err) {
+			t.Errorf("ValidateID(%q): IsBadID = false for %v", id, err)
+		}
+	}
+}
+
+func TestIsBadIDOnOtherErrors(t *testing.T) {
+	if IsBadID(nil) {
+		t.Error("IsBadID(nil) = true")
+	}
+	if IsBadID(errors.New("boom")) {
+		t.Error("IsBadID(generic) = true")
+	}
+}
