@@ -75,6 +75,11 @@ func main() {
 		Title: "extra — quiet-tenant request rate vs noisy co-tenant load, with and without quotas (NYT, not in the paper)",
 		Run:   expTenants,
 	})
+	bench.RegisterExtra(bench.Experiment{
+		ID:    "faults",
+		Title: "extra — query latency through a WAL wedge and degraded-mode auto-recovery (NYT, not in the paper)",
+		Run:   expFaults,
+	})
 
 	if *list {
 		for _, e := range bench.Registry() {

@@ -91,6 +91,8 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 		walSync       = fs.String("wal-sync", "always", "WAL sync policy: always, interval, or none")
 		walSyncEvery  = fs.Duration("wal-sync-interval", 100*time.Millisecond, "fsync period under -wal-sync interval")
 		walSegBytes   = fs.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation size")
+		walProbeMin   = fs.Duration("wal-probe-min", 100*time.Millisecond, "initial backoff of the degraded-mode recovery probe")
+		walProbeMax   = fs.Duration("wal-probe-max", 5*time.Second, "backoff cap of the degraded-mode recovery probe")
 		tenantRoot    = fs.String("tenant-root", "", "multi-tenant WAL root: one index + WAL dir per tenant under it")
 		tenantMaxOpen = fs.Int("tenant-max-open", 0, "max concurrently open tenant indexes (0 = unlimited)")
 		overridesFile = fs.String("overrides-file", "", "per-tenant limits file (YAML or JSON), reloaded on SIGHUP and -overrides-poll")
@@ -123,6 +125,8 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 				Sync:         syncPol,
 				SyncEvery:    *walSyncEvery,
 				SegmentBytes: *walSegBytes,
+				ProbeMin:     *walProbeMin,
+				ProbeMax:     *walProbeMax,
 			},
 			Policy:      pol,
 			Shards:      *shards,
@@ -171,6 +175,8 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 				Sync:         syncPol,
 				SyncEvery:    *walSyncEvery,
 				SegmentBytes: *walSegBytes,
+				ProbeMin:     *walProbeMin,
+				ProbeMax:     *walProbeMax,
 			}, pol, func() (*trajcover.LiveShardedIndex, error) {
 				return buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
 			})

@@ -1,0 +1,109 @@
+// Package faultfs abstracts the handful of filesystem operations the
+// durability layer performs (create/open/write/sync/rename/remove plus
+// directory fsync) behind an interface, so tests can interpose a
+// deterministic fault injector between the WAL/checkpoint code and the
+// disk. Production code passes OS (or nil, which every consumer
+// normalizes to OS) and pays one interface call per IO; tests pass an
+// *Injector wrapping OS and script the exact operation that fails.
+//
+// The surface is intentionally the subset the storage layer uses —
+// this is not a general VFS. Read paths (replay, snapshot restore) go
+// through the same interface so torn-read experiments are possible,
+// but injection there is optional: the recovery contract is enforced
+// by the write side.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the per-handle surface: sequential reads/writes, fsync, and
+// close. *os.File satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data (and metadata) to stable storage.
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the directory-level surface. All paths are interpreted exactly
+// as the os package would interpret them.
+type FS interface {
+	// OpenFile is os.OpenFile.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename is os.Rename. Implementations must preserve its
+	// atomic-replace semantics on POSIX filesystems.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove.
+	Remove(name string) error
+	// MkdirAll is os.MkdirAll.
+	MkdirAll(path string, perm fs.FileMode) error
+	// ReadDir is os.ReadDir.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Stat is os.Stat.
+	Stat(name string) (fs.FileInfo, error)
+	// Truncate is os.Truncate.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making renames, creates,
+	// and removes within it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough implementation backed by the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Create opens name for writing, truncating it if it exists — the
+// os.Create idiom over an FS.
+func Create(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Open opens name read-only — the os.Open idiom over an FS.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// OrOS normalizes a possibly-nil FS to the real filesystem, so option
+// structs can leave the field zero-valued.
+func OrOS(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}

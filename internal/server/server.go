@@ -113,10 +113,13 @@ func (c Config) withDefaults() Config {
 }
 
 // response is a computed answer a worker hands back to the waiting
-// handler; the handler alone touches the ResponseWriter.
+// handler; the handler alone touches the ResponseWriter. retryAfter
+// marks a transient rejection (degraded writes) the handler must stamp
+// with a Retry-After header — the worker never touches w.
 type response struct {
-	status int
-	body   []byte
+	status     int
+	body       []byte
+	retryAfter bool
 }
 
 // task is one admitted request: the deadline context, the work closure,
@@ -192,11 +195,23 @@ func (e *endpointStats) snapshot() EndpointSnapshot {
 }
 
 // IndexSnapshot is the served index's state as reported by /statsz.
+// Health carries the degraded-mode state machine: cause and entry time
+// while degraded, monotone Entries/Exits transition counters, and the
+// recovery probe's attempt/success counts.
 type IndexSnapshot struct {
 	Len          int                        `json:"len"`
 	Shards       int                        `json:"shards"`
 	PerShard     []trajcover.LiveShardStats `json:"per_shard"`
 	RebuildError string                     `json:"rebuild_error,omitempty"`
+	Health       *trajcover.Health          `json:"health,omitempty"`
+}
+
+// ProcessSnapshot is the process-level /statsz section: the figures an
+// operator correlates with degraded windows and leak reports.
+type ProcessSnapshot struct {
+	Goroutines     int     `json:"goroutines"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
 }
 
 // WALSnapshot is the durability layer's state as reported by /statsz
@@ -219,19 +234,22 @@ type TenantSnapshot struct {
 
 // Stats is the /statsz document. Index and WAL describe the default
 // tenant's index (absent when no default tenant exists); Tenants holds
-// one section per tenant that has sent traffic this session.
+// one section per tenant that has sent traffic this session;
+// DegradedTenants maps each currently-degraded tenant to its cause.
 type Stats struct {
-	UptimeSeconds float64                        `json:"uptime_seconds"`
-	Workers       int                            `json:"workers"`
-	QueueCap      int                            `json:"queue_cap"`
-	QueueDepth    int                            `json:"queue_depth"`
-	Draining      bool                           `json:"draining"`
-	Endpoints     map[string]EndpointSnapshot    `json:"endpoints"`
-	Index         IndexSnapshot                  `json:"index"`
-	WAL           *WALSnapshot                   `json:"wal,omitempty"`
-	Tenants       map[string]TenantSnapshot      `json:"tenants,omitempty"`
-	Registry      *trajcover.TenantRegistryStats `json:"registry,omitempty"`
-	OverridesInfo *OverridesSnapshot             `json:"overrides,omitempty"`
+	UptimeSeconds   float64                        `json:"uptime_seconds"`
+	Workers         int                            `json:"workers"`
+	QueueCap        int                            `json:"queue_cap"`
+	QueueDepth      int                            `json:"queue_depth"`
+	Draining        bool                           `json:"draining"`
+	Process         ProcessSnapshot                `json:"process"`
+	Endpoints       map[string]EndpointSnapshot    `json:"endpoints"`
+	Index           IndexSnapshot                  `json:"index"`
+	WAL             *WALSnapshot                   `json:"wal,omitempty"`
+	Tenants         map[string]TenantSnapshot      `json:"tenants,omitempty"`
+	DegradedTenants map[string]string              `json:"degraded_tenants,omitempty"`
+	Registry        *trajcover.TenantRegistryStats `json:"registry,omitempty"`
+	OverridesInfo   *OverridesSnapshot             `json:"overrides,omitempty"`
 }
 
 // OverridesSnapshot reports the overrides reload counters /statsz shows
@@ -497,14 +515,23 @@ func (s *Server) requestTimeout(timeoutMS int64, lim tenant.Limits) time.Duratio
 	return d
 }
 
+// rejectRetryable answers any transient rejection — 429 on queue or
+// quota pressure, 503 on drain or degraded mode — with a Retry-After
+// hint. Every rejection that a well-behaved client should back off and
+// retry goes through here; permanent errors (400/404/409/500) never
+// carry the header.
+func (s *Server) rejectRetryable(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Retry-After", s.retryAfter)
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
 // rejectQuota answers a 429 for a tenant over one of its limits. The
 // gate already counted the per-reason rejection; here it reaches the
 // endpoint counters and the client, with Retry-After like global queue
 // pressure — the client backoff story is the same.
 func (s *Server) rejectQuota(w http.ResponseWriter, ep *endpointStats, tid string, reason tenant.RejectReason) {
 	ep.rejected.Add(1)
-	w.Header().Set("Retry-After", s.retryAfter)
-	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: fmt.Sprintf("tenant %q over %s", tid, reason)})
+	s.rejectRetryable(w, http.StatusTooManyRequests, fmt.Sprintf("tenant %q over %s", tid, reason))
 }
 
 // executeTenant runs one unit of work through the pool on behalf of a
@@ -562,15 +589,14 @@ func (s *Server) executeTenant(w http.ResponseWriter, r *http.Request, ep *endpo
 		gate.Cancel()
 		release()
 		ep.errors.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+		s.rejectRetryable(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	if !ok {
 		gate.Cancel()
 		release()
 		ep.rejected.Add(1)
-		w.Header().Set("Retry-After", s.retryAfter)
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "worker queue full"})
+		s.rejectRetryable(w, http.StatusTooManyRequests, "worker queue full")
 		return
 	}
 	// Only admitted requests are timed: rejections return in
@@ -583,6 +609,9 @@ func (s *Server) executeTenant(w http.ResponseWriter, r *http.Request, ep *endpo
 			if t.resp.status == http.StatusGatewayTimeout {
 				ep.deadline.Add(1)
 			}
+		}
+		if t.resp.retryAfter {
+			w.Header().Set("Retry-After", s.retryAfter)
 		}
 		writeRaw(w, t.resp.status, t.resp.body)
 	case <-ctx.Done():
@@ -601,7 +630,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, ep *endpointStats
 	if s.draining.Load() {
 		ep.requests.Add(1)
 		ep.errors.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		s.rejectRetryable(w, http.StatusServiceUnavailable, "server draining")
 		return nil, false
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -705,9 +734,14 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.executeTenant(w, r, ep, tid, true, req.TimeoutMS, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
 		if err := idx.Insert(u); err != nil {
 			// Duplicate IDs and unroutable (immutable-restore) inserts
-			// are conflicts with the served corpus, not malformed input;
-			// anything else is a durability failure — the write was NOT
-			// acknowledged and the WAL is wedged.
+			// are conflicts with the served corpus, not malformed input.
+			// A degraded index is a transient 503: the write was NOT
+			// acknowledged, queries still serve, and the recovery probe
+			// is working the disk — retry after the hint. Anything else
+			// is a durability failure the client cannot retry through.
+			if trajcover.IsDegraded(err) {
+				return response{status: http.StatusServiceUnavailable, body: mustMarshal(ErrorResponse{Error: err.Error()}), retryAfter: true}
+			}
 			status := http.StatusInternalServerError
 			if errors.Is(err, trajcover.ErrDuplicateID) || trajcover.IsImmutable(err) {
 				status = http.StatusConflict
@@ -737,7 +771,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.executeTenant(w, r, ep, tid, true, req.TimeoutMS, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
 		found, err := idx.Delete(trajcover.ID(req.ID))
 		if err != nil {
-			// A durability failure: the delete was not acknowledged.
+			// The delete was not acknowledged: transient 503 while
+			// degraded (retry after the hint), 500 otherwise.
+			if trajcover.IsDegraded(err) {
+				return response{status: http.StatusServiceUnavailable, body: mustMarshal(ErrorResponse{Error: err.Error()}), retryAfter: true}
+			}
 			return response{status: http.StatusInternalServerError, body: mustMarshal(ErrorResponse{Error: err.Error()})}
 		}
 		return response{status: http.StatusOK, body: mustMarshal(DeleteResponse{Found: found})}
@@ -785,7 +823,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		ep.errors.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		s.rejectRetryable(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	idx, release, ok := s.opsTenant(w, r, ep)
@@ -846,7 +884,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		ep.errors.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		s.rejectRetryable(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	idx, release, ok := s.opsTenant(w, r, ep)
@@ -863,6 +901,12 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	defer func() { ep.observe(time.Since(start)) }()
 	if err := idx.Checkpoint(); err != nil {
 		ep.errors.Add(1)
+		// A failed checkpoint degrades the index (durability stalled);
+		// tell the client it is transient — the probe owns the retry.
+		if idx.Degraded() {
+			s.rejectRetryable(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
@@ -870,12 +914,43 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CheckpointResponse{OK: true, WALSegments: wst.Segments, WALBytes: wst.Bytes})
 }
 
+// HealthResponse is the /healthz document. Degraded maps each tenant
+// currently in degraded read-only mode to its cause.
+type HealthResponse struct {
+	Status   string            `json:"status"`
+	Degraded map[string]string `json:"degraded,omitempty"`
+}
+
+// degradedCauses maps each currently-degraded tenant to its cause
+// (single-tenant mode reports under the default tenant ID). Nil when
+// everything is writable.
+func (s *Server) degradedCauses() map[string]string {
+	if s.reg != nil {
+		if deg := s.reg.Degraded(); len(deg) > 0 {
+			return deg
+		}
+		return nil
+	}
+	if h := s.idx.Health(); h.Degraded {
+		return map[string]string{tenant.DefaultID: h.Cause}
+	}
+	return nil
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	// Degraded is NOT down: queries still serve from the last published
+	// epochs, so load balancers must keep routing reads here — 200 with
+	// the causes spelled out, writes answering 503 individually.
+	if deg := s.degradedCauses(); deg != nil {
+		writeJSON(w, http.StatusOK, HealthResponse{Status: "degraded", Degraded: deg})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -887,22 +962,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // Tenants carries each traffic-bearing tenant's effective limits and
 // gate counters.
 func (s *Server) Stats() Stats {
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
 	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.cfg.Workers,
 		QueueCap:      s.cfg.QueueDepth,
 		QueueDepth:    len(s.queue),
 		Draining:      s.draining.Load(),
-		Endpoints:     make(map[string]EndpointSnapshot, len(s.stats)),
+		Process: ProcessSnapshot{
+			Goroutines:     runtime.NumGoroutine(),
+			UptimeSeconds:  time.Since(s.start).Seconds(),
+			HeapInuseBytes: mem.HeapInuse,
+		},
+		Endpoints: make(map[string]EndpointSnapshot, len(s.stats)),
 	}
 	for p, ep := range s.stats {
 		st.Endpoints[p] = ep.snapshot()
 	}
 	if idx := s.Index(); idx != nil {
+		h := idx.Health()
 		st.Index = IndexSnapshot{
 			Len:      idx.Len(),
 			Shards:   idx.NumShards(),
 			PerShard: idx.Stats(),
+			Health:   &h,
 		}
 		if err := idx.Err(); err != nil {
 			st.Index.RebuildError = err.Error()
@@ -929,6 +1013,7 @@ func (s *Server) Stats() Stats {
 	if s.reg != nil {
 		rst := s.reg.Stats()
 		st.Registry = &rst
+		st.DegradedTenants = s.degradedCauses()
 	}
 	if s.ovrStatus != nil {
 		ost := s.ovrStatus()

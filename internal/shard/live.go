@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/trajcover/trajcover/internal/geo"
 	"github.com/trajcover/trajcover/internal/query"
@@ -54,6 +55,14 @@ var ErrImmutable = errors.New("shard: immutable index (unknown partitioner)")
 // corpus. Typed so callers (the HTTP server) can tell a client mistake
 // (409) from a durability failure (500).
 var ErrDuplicateID = errors.New("shard: duplicate id")
+
+// ErrDegraded rejects writes while the index is in degraded read-only
+// mode: the WAL wedged or checkpoint IO failed, so durability cannot be
+// promised. Queries keep serving from the last published epochs; the
+// owner (the public WAL layer) probes the disk in the background and
+// calls ExitDegraded once a fresh log is in place. Typed so the HTTP
+// layer can answer 503 + Retry-After instead of 500.
+var ErrDegraded = errors.New("shard: degraded (writes temporarily disabled)")
 
 // Policy tunes when a live shard folds its delta into a fresh base.
 type Policy struct {
@@ -152,6 +161,33 @@ type Live struct {
 	// acknowledged only after WaitDurable returns (after wmu is
 	// released, so concurrent writers share one group-commit fsync).
 	log *wal.Log
+
+	// Degraded-mode state machine. degraded is the write-path fast
+	// check; the rest is guarded by hmu (never held together with wmu).
+	// Transitions are monotone and observable: degEntries/degExits only
+	// grow, and degEntries is either equal to degExits (healthy) or one
+	// ahead (degraded).
+	degraded   atomic.Bool
+	hmu        sync.Mutex
+	degCause   error
+	degSince   time.Time
+	degEntries uint64
+	degExits   uint64
+	onDegrade  func(cause error)
+}
+
+// Health is an observable snapshot of the degraded-mode state machine.
+type Health struct {
+	Degraded bool
+	// Cause is the error that triggered the current degradation ("" when
+	// healthy).
+	Cause string
+	// Since is when the current degradation began (zero when healthy).
+	Since time.Time
+	// Entries and Exits count degraded-mode transitions since open; they
+	// are monotone, and Entries-Exits is the current state (1 degraded,
+	// 0 healthy).
+	Entries, Exits uint64
 }
 
 // BuildLive partitions users and builds one frozen-epoch shard per
@@ -383,6 +419,106 @@ func (l *Live) WAL() *wal.Log {
 	return l.log
 }
 
+// SwapWAL atomically replaces the attached log and returns the previous
+// one — the recovery path: the owner opens a successor log over the
+// same directory and swaps it in while writes are still rejected
+// (degraded), so no write can race the half-installed log.
+func (l *Live) SwapWAL(log *wal.Log) *wal.Log {
+	l.wmu.Lock()
+	old := l.log
+	l.log = log
+	l.wmu.Unlock()
+	return old
+}
+
+// SetDegradeHook registers fn to run (on the failing writer's
+// goroutine, without locks held) each time the index enters degraded
+// mode — the owner spawns its recovery probe from it. Set before the
+// index is shared with writers.
+func (l *Live) SetDegradeHook(fn func(cause error)) {
+	l.hmu.Lock()
+	l.onDegrade = fn
+	l.hmu.Unlock()
+}
+
+// EnterDegraded flips the index into degraded read-only mode with the
+// given cause. Idempotent while degraded: the first cause wins until
+// ExitDegraded.
+func (l *Live) EnterDegraded(cause error) {
+	l.hmu.Lock()
+	if l.degraded.Load() {
+		l.hmu.Unlock()
+		return
+	}
+	l.degCause = cause
+	l.degSince = time.Now()
+	l.degEntries++
+	l.degraded.Store(true)
+	hook := l.onDegrade
+	l.hmu.Unlock()
+	if hook != nil {
+		hook(cause)
+	}
+}
+
+// ExitDegraded returns the index to normal writable service. The owner
+// calls it only after a fresh WAL is attached and the full in-memory
+// state is durable (checkpointed), so the ack invariant holds across
+// the cycle. Idempotent.
+func (l *Live) ExitDegraded() {
+	l.hmu.Lock()
+	if l.degraded.Load() {
+		l.degCause = nil
+		l.degSince = time.Time{}
+		l.degExits++
+		l.degraded.Store(false)
+	}
+	l.hmu.Unlock()
+}
+
+// Degraded reports whether the index is in degraded read-only mode.
+func (l *Live) Degraded() bool { return l.degraded.Load() }
+
+// Health snapshots the degraded-mode state machine.
+func (l *Live) Health() Health {
+	l.hmu.Lock()
+	defer l.hmu.Unlock()
+	h := Health{
+		Degraded: l.degraded.Load(),
+		Since:    l.degSince,
+		Entries:  l.degEntries,
+		Exits:    l.degExits,
+	}
+	if l.degCause != nil {
+		h.Cause = l.degCause.Error()
+	}
+	return h
+}
+
+// degradedErr is the typed rejection every write path returns while
+// degraded, carrying the cause.
+func (l *Live) degradedErr() error {
+	l.hmu.Lock()
+	cause := l.degCause
+	l.hmu.Unlock()
+	if cause != nil {
+		return fmt.Errorf("%w: %v", ErrDegraded, cause)
+	}
+	return ErrDegraded
+}
+
+// walFailure classifies a write-path WAL error: a wedged log means the
+// disk refused bytes of unknown extent — enter degraded mode and reject
+// with ErrDegraded; anything else (an encoding error) passes through.
+// log is the log captured under wmu by the failing write.
+func (l *Live) walFailure(op string, log *wal.Log, err error) error {
+	if log != nil && log.Err() != nil {
+		l.EnterDegraded(err)
+		return fmt.Errorf("%w: %s: %v", ErrDegraded, op, err)
+	}
+	return fmt.Errorf("shard: %s: %w", op, err)
+}
+
 // CheckpointCapture atomically captures a write-consistent epoch cut
 // and rotates the WAL in the same critical section, so the returned
 // segment index is exact: every write in the capture is in a segment
@@ -411,12 +547,18 @@ func (l *Live) CheckpointCapture() (eps []*query.Epoch, cut uint64, err error) {
 // with queries and other writes; duplicate IDs (anywhere in the logical
 // corpus) are rejected with ErrDuplicateID. With a WAL attached, Insert
 // returns only after the record is durable per the sync policy; a
-// durability error means the write was NOT acknowledged (an error after
-// the epoch publish leaves it applied in memory but the log wedged, so
-// every subsequent write fails too).
+// durability error means the write was NOT acknowledged, and the index
+// enters degraded read-only mode (later writes fail fast with
+// ErrDegraded until recovery re-establishes a durable log; an error
+// after the epoch publish leaves the write applied in memory but
+// unacked — recovery checkpoints the in-memory state before accepting
+// new writes, so replay never sees an inconsistent history).
 func (l *Live) Insert(u *trajectory.Trajectory) error {
 	if l.part == nil {
 		return fmt.Errorf("%w: cannot route insert", ErrImmutable)
+	}
+	if l.degraded.Load() {
+		return l.degradedErr()
 	}
 	l.wmu.Lock()
 	for _, sh := range l.shards {
@@ -430,8 +572,9 @@ func (l *Live) Insert(u *trajectory.Trajectory) error {
 		var err error
 		lsn, err = l.log.Append(wal.Record{Op: wal.OpInsert, Trajectory: u})
 		if err != nil {
+			log := l.log
 			l.wmu.Unlock()
-			return fmt.Errorf("shard: wal append: %w", err)
+			return l.walFailure("wal append", log, err)
 		}
 	}
 	i := clampShard(l.part.Assign(u, l.bounds, len(l.shards)), len(l.shards))
@@ -446,7 +589,7 @@ func (l *Live) Insert(u *trajectory.Trajectory) error {
 	l.wmu.Unlock()
 	if log != nil {
 		if err := log.WaitDurable(lsn); err != nil {
-			return fmt.Errorf("shard: wal sync: %w", err)
+			return l.walFailure("wal sync", log, err)
 		}
 	}
 	return nil
@@ -460,13 +603,17 @@ func (l *Live) Insert(u *trajectory.Trajectory) error {
 // its record is durable; (false, nil) means the id was not present and
 // nothing was logged.
 func (l *Live) Delete(id trajectory.ID) (bool, error) {
+	if l.degraded.Load() {
+		return false, l.degradedErr()
+	}
 	l.wmu.Lock()
 	for _, sh := range l.shards {
 		if u, ok := sh.deltaByID[id]; ok {
 			lsn, err := l.appendDeleteLocked(id)
 			if err != nil {
+				log := l.log
 				l.wmu.Unlock()
-				return false, err
+				return false, l.walFailure("wal append", log, err)
 			}
 			newDelta := make([]*trajectory.Trajectory, 0, len(sh.delta)-1)
 			for _, d := range sh.delta {
@@ -496,8 +643,9 @@ func (l *Live) Delete(id trajectory.ID) (bool, error) {
 		}
 		lsn, err := l.appendDeleteLocked(id)
 		if err != nil {
+			log := l.log
 			l.wmu.Unlock()
-			return false, err
+			return false, l.walFailure("wal append", log, err)
 		}
 		newDead := make(map[trajectory.ID]struct{}, len(sh.dead)+1)
 		for d := range sh.dead {
@@ -521,11 +669,7 @@ func (l *Live) appendDeleteLocked(id trajectory.ID) (uint64, error) {
 	if l.log == nil {
 		return 0, nil
 	}
-	lsn, err := l.log.Append(wal.Record{Op: wal.OpDelete, ID: id})
-	if err != nil {
-		return 0, fmt.Errorf("shard: wal append: %w", err)
-	}
-	return lsn, nil
+	return l.log.Append(wal.Record{Op: wal.OpDelete, ID: id})
 }
 
 // ackUnlock releases wmu and then waits for lsn to be durable — the
@@ -535,7 +679,7 @@ func (l *Live) ackUnlock(lsn uint64) error {
 	l.wmu.Unlock()
 	if log != nil {
 		if err := log.WaitDurable(lsn); err != nil {
-			return fmt.Errorf("shard: wal sync: %w", err)
+			return l.walFailure("wal sync", log, err)
 		}
 	}
 	return nil

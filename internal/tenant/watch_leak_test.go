@@ -1,0 +1,86 @@
+package tenant
+
+// Shutdown goroutine-hygiene coverage for the overrides Watcher: Stop
+// must join the poll loop — not just signal it — under every ordering
+// (idle, mid-poll against a churning file, many watchers at once,
+// repeated Stop), leaving no goroutines behind.
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWatcherStopJoinsPollLoopNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "overrides.yaml")
+	if err := os.WriteFile(path, []byte("defaults:\n  max_queue: 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A churning writer keeps the poll loops busy reloading, so Stop
+	// races real work rather than an idle ticker.
+	stopChurn := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopChurn:
+				return
+			default:
+			}
+			doc := []byte("defaults:\n  max_queue: " + string(rune('1'+i%8)) + "\n")
+			os.WriteFile(path, doc, 0o644)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	const watchers = 8
+	ws := make([]*Watcher, watchers)
+	for i := range ws {
+		ws[i] = NewWatcher(path, nil, nil)
+		if err := ws[i].Load(); err != nil {
+			t.Fatal(err)
+		}
+		ws[i].Start(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Stop()
+			w.Stop() // idempotent from any goroutine
+		}()
+	}
+	wg.Wait()
+	close(stopChurn)
+	churn.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("watcher poll loops leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A stopped watcher still serves its last document.
+	if ws[0].Current() == nil {
+		t.Fatal("stopped watcher dropped its overrides document")
+	}
+}

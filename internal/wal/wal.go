@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/trajcover/trajcover/internal/faultfs"
 	"github.com/trajcover/trajcover/internal/geo"
 	"github.com/trajcover/trajcover/internal/trajectory"
 )
@@ -114,6 +115,9 @@ type Options struct {
 	// SegmentBytes rotates to a fresh segment once the current one
 	// grows past this size (<= 0: 64 MiB).
 	SegmentBytes int64
+	// FS is the filesystem all segment IO goes through (nil: the real
+	// OS). Tests inject a faultfs.Injector here to script disk faults.
+	FS faultfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +127,7 @@ func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
 	}
+	o.FS = faultfs.OrOS(o.FS)
 	return o
 }
 
@@ -169,10 +174,11 @@ type Stats struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   faultfs.FS
 
 	// mu guards the segment file, buffer, and append state.
 	mu       sync.Mutex
-	f        *os.File
+	f        faultfs.File
 	w        *bufio.Writer
 	seg      uint64 // current segment index
 	segBytes int64  // bytes appended to the current segment
@@ -216,7 +222,11 @@ func parseSegmentName(name string) (uint64, bool) {
 
 // ListSegments returns the live segment indexes in dir, sorted.
 func ListSegments(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+	return listSegments(faultfs.OS, dir)
+}
+
+func listSegments(fsys faultfs.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -436,16 +446,17 @@ func decodeRecord(payload []byte) (Record, error) {
 // an old one: replayed bytes are immutable history.
 func Open(dir string, opts Options) (*Log, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	segs, err := ListSegments(dir)
+	segs, err := listSegments(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
 	l := &Log{
 		dir:        dir,
 		opts:       opts,
+		fs:         opts.FS,
 		segSizes:   map[uint64]int64{},
 		stopTicker: make(chan struct{}),
 		tickerDone: make(chan struct{}),
@@ -458,11 +469,11 @@ func Open(dir string, opts Options) (*Log, error) {
 		for _, idx := range segs {
 			path := filepath.Join(dir, segmentName(idx))
 			if idx == segs[len(segs)-1] {
-				if err := truncateTornTail(path, idx); err != nil {
+				if err := truncateTornTail(opts.FS, path, idx); err != nil {
 					return nil, err
 				}
 			}
-			info, err := os.Stat(path)
+			info, err := opts.FS.Stat(path)
 			if err != nil {
 				return nil, err
 			}
@@ -485,8 +496,8 @@ func Open(dir string, opts Options) (*Log, error) {
 // truncateTornTail scans the final segment and truncates it to the end
 // of its last intact record, so a torn append cannot shadow future
 // appends. Corruption before the tail is left for Replay to refuse.
-func truncateTornTail(path string, idx uint64) error {
-	f, err := os.Open(path)
+func truncateTornTail(fsys faultfs.FS, path string, idx uint64) error {
+	f, err := faultfs.Open(fsys, path)
 	if err != nil {
 		return err
 	}
@@ -516,24 +527,24 @@ func truncateTornTail(path string, idx uint64) error {
 		}
 	}
 	f.Close()
-	info, err := os.Stat(path)
+	info, err := fsys.Stat(path)
 	if err != nil {
 		return err
 	}
 	if info.Size() == good {
 		return nil
 	}
-	if err := os.Truncate(path, good); err != nil {
+	if err := fsys.Truncate(path, good); err != nil {
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // openSegment creates and syncs segment idx and makes it current.
 // Caller holds mu or has exclusive access.
 func (l *Log) openSegment(idx uint64) error {
 	path := filepath.Join(l.dir, segmentName(idx))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -550,7 +561,7 @@ func (l *Log) openSegment(idx uint64) error {
 		f.Close()
 		return err
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -560,21 +571,6 @@ func (l *Log) openSegment(idx uint64) error {
 	l.segBytes = 16
 	l.segSizes[idx] = 16
 	return nil
-}
-
-// syncDir fsyncs a directory so renames/creates/removes in it are
-// durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	cerr := d.Close()
-	if err != nil {
-		return err
-	}
-	return cerr
 }
 
 // Append buffers one record and returns its LSN (1-based count of
@@ -769,7 +765,7 @@ func (l *Log) RemoveBefore(cut uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for idx := l.first; idx < cut && idx < l.seg; idx++ {
-		if err := os.Remove(filepath.Join(l.dir, segmentName(idx))); err != nil && !os.IsNotExist(err) {
+		if err := l.fs.Remove(filepath.Join(l.dir, segmentName(idx))); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 		delete(l.segSizes, idx)
@@ -780,7 +776,7 @@ func (l *Log) RemoveBefore(cut uint64) error {
 			l.first = l.seg
 		}
 	}
-	return syncDir(l.dir)
+	return l.fs.SyncDir(l.dir)
 }
 
 // Stats returns the log's counters.
@@ -805,6 +801,16 @@ func (l *Log) Stats() Stats {
 
 // Dir returns the log's directory.
 func (l *Log) Dir() string { return l.dir }
+
+// Err returns the error that wedged the log, or nil while it is
+// healthy. A wedged log rejects every later append and ack; the owner
+// is expected to stop writing through it, open a successor with Open
+// (which verifies and truncates the torn tail), and resume there.
+func (l *Log) Err() error {
+	l.smu.Lock()
+	defer l.smu.Unlock()
+	return l.failed
+}
 
 // Close flushes, fsyncs, and closes the current segment and stops the
 // background sync loop. Idempotent.

@@ -21,8 +21,10 @@ package trajcover
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,8 +33,50 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/trajcover/trajcover/internal/faultfs"
+	"github.com/trajcover/trajcover/internal/shard"
 	"github.com/trajcover/trajcover/internal/wal"
 )
+
+// FS is the filesystem abstraction all WAL and checkpoint IO goes
+// through — an alias of the internal faultfs interface, so external
+// test harnesses can inject scripted disk faults via WALOptions.FS
+// without importing internal packages. Production code leaves the
+// field nil (the real OS).
+type FS = faultfs.FS
+
+// ErrDegraded rejects writes while the index is in degraded read-only
+// mode: the WAL wedged or checkpoint IO failed, durability cannot be
+// promised, and a background probe is retrying the disk with capped
+// exponential backoff. Queries keep serving from the last published
+// epochs; writes fail fast until the probe re-establishes a durable
+// log (observable via Health). Test with errors.Is / IsDegraded.
+var ErrDegraded = shard.ErrDegraded
+
+// IsDegraded reports whether err means the index is temporarily
+// rejecting writes in degraded read-only mode.
+func IsDegraded(err error) bool { return errors.Is(err, ErrDegraded) }
+
+// Health is an observable snapshot of an index's degraded-mode state
+// machine plus its recovery probe's counters.
+type Health struct {
+	// Degraded reports whether writes are currently rejected.
+	Degraded bool `json:"degraded"`
+	// Cause is the error that triggered the current degradation (""
+	// when healthy).
+	Cause string `json:"cause,omitempty"`
+	// Since is when the current degradation began (zero when healthy).
+	Since time.Time `json:"since,omitempty"`
+	// Entries and Exits count degraded transitions since open; both are
+	// monotone and Entries-Exits is the current state (1 degraded, 0
+	// healthy).
+	Entries uint64 `json:"entries"`
+	Exits   uint64 `json:"exits"`
+	// Probes counts recovery attempts; Recoveries counts the ones that
+	// restored writable service.
+	Probes     uint64 `json:"probes,omitempty"`
+	Recoveries uint64 `json:"recoveries,omitempty"`
+}
 
 // WALSyncPolicy selects when an acknowledged write is durable.
 type WALSyncPolicy int
@@ -90,6 +134,37 @@ type WALOptions struct {
 	SyncEvery time.Duration
 	// SegmentBytes rotates segment files past this size (0: 64 MiB).
 	SegmentBytes int64
+	// FS is the filesystem all WAL and checkpoint IO goes through
+	// (nil: the real OS). Tests inject a fault injector here.
+	FS FS
+	// ProbeMin and ProbeMax bound the degraded-mode recovery probe's
+	// capped exponential backoff with jitter (0: 100ms and 5s). Tests
+	// shrink them so wedge→recover cycles run in milliseconds.
+	ProbeMin, ProbeMax time.Duration
+}
+
+func (o WALOptions) withProbeDefaults() WALOptions {
+	if o.ProbeMin <= 0 {
+		o.ProbeMin = 100 * time.Millisecond
+	}
+	if o.ProbeMax < o.ProbeMin {
+		o.ProbeMax = 5 * time.Second
+		if o.ProbeMax < o.ProbeMin {
+			o.ProbeMax = o.ProbeMin
+		}
+	}
+	return o
+}
+
+// walOptions translates to the internal log options — one place, so
+// boot and every probe reopen agree.
+func (o WALOptions) walOptions() wal.Options {
+	return wal.Options{
+		Sync:         o.Sync.policy(),
+		SyncEvery:    o.SyncEvery,
+		SegmentBytes: o.SegmentBytes,
+		FS:           o.FS,
+	}
 }
 
 // WALStats is a point-in-time view of the durability layer.
@@ -110,11 +185,23 @@ type WALStats struct {
 // liveWAL is the durability state hung off a LiveShardedIndex opened
 // with OpenLiveShardedIndex.
 type liveWAL struct {
-	dir string
+	dir  string
+	opts WALOptions // normalized: probe defaults applied
+	fs   faultfs.FS
 	// mu serializes checkpoints (capture + file write + truncation).
 	mu sync.Mutex
 	// lastCkpt is the unix-nano completion time of the last checkpoint.
 	lastCkpt atomic.Int64
+
+	// Recovery probe lifecycle: probing dedups spawns (one probe
+	// goroutine at a time), stop ends it on Close, wg waits for it so
+	// Close never leaks the goroutine.
+	probing    atomic.Bool
+	stop       chan struct{}
+	stopOnce   sync.Once
+	wg         sync.WaitGroup
+	probes     atomic.Uint64
+	recoveries atomic.Uint64
 }
 
 // checkpointPrefix names checkpoint files; the embedded index is the
@@ -140,8 +227,8 @@ func parseCheckpointName(name string) (uint64, bool) {
 
 // latestCheckpoint finds the newest durable checkpoint in dir,
 // returning its cut and path, or ok=false when none exists.
-func latestCheckpoint(dir string) (cut uint64, path string, ok bool, err error) {
-	ents, err := os.ReadDir(dir)
+func latestCheckpoint(fsys faultfs.FS, dir string) (cut uint64, path string, ok bool, err error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return 0, "", false, err
 	}
@@ -165,16 +252,18 @@ func OpenLiveShardedIndex(opts WALOptions, pol LivePolicy, bootstrap func() (*Li
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("trajcover: WAL dir required")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	opts = opts.withProbeDefaults()
+	fsys := faultfs.OrOS(opts.FS)
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	cut, ckptPath, haveCkpt, err := latestCheckpoint(opts.Dir)
+	cut, ckptPath, haveCkpt, err := latestCheckpoint(fsys, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
 	var x *LiveShardedIndex
 	if haveCkpt {
-		f, err := os.Open(ckptPath)
+		f, err := faultfs.Open(fsys, ckptPath)
 		if err != nil {
 			return nil, err
 		}
@@ -214,23 +303,26 @@ func OpenLiveShardedIndex(opts WALOptions, pol LivePolicy, bootstrap func() (*Li
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(opts.Dir, wal.Options{
-		Sync:         opts.Sync.policy(),
-		SyncEvery:    opts.SyncEvery,
-		SegmentBytes: opts.SegmentBytes,
-	})
+	log, err := wal.Open(opts.Dir, opts.walOptions())
 	if err != nil {
 		return nil, err
 	}
 	x.s.AttachWAL(log)
-	x.wal = &liveWAL{dir: opts.Dir}
+	x.wal = &liveWAL{dir: opts.Dir, opts: opts, fs: fsys, stop: make(chan struct{})}
 	// Checkpoint now: the restored-or-bootstrapped state becomes the
 	// recovery base, bounding the next boot's replay to this session's
-	// segments (and freeing the replayed ones).
-	if err := x.Checkpoint(); err != nil {
+	// segments (and freeing the replayed ones). A failure here is a hard
+	// boot error, not a degradation — nothing has been served yet.
+	x.wal.mu.Lock()
+	_, err = x.checkpointLocked()
+	x.wal.mu.Unlock()
+	if err != nil {
 		log.Close()
 		return nil, err
 	}
+	// From here on, WAL wedges and checkpoint failures degrade instead
+	// of wedging forever: the hook spawns the backoff probe.
+	x.s.SetDegradeHook(func(error) { x.startProbe() })
 	return x, nil
 }
 
@@ -244,9 +336,20 @@ func (x *LiveShardedIndex) Checkpoint() error {
 		return fmt.Errorf("trajcover: no WAL attached (open with OpenLiveShardedIndex)")
 	}
 	x.wal.mu.Lock()
-	defer x.wal.mu.Unlock()
 	_, err := x.checkpointLocked()
+	x.wal.mu.Unlock()
+	if err != nil {
+		x.degradeOnCheckpoint(err)
+	}
 	return err
+}
+
+// degradeOnCheckpoint flips the index to degraded read-only mode after
+// a runtime checkpoint failure: segments cannot be truncated and the
+// recovery base cannot advance, so durability is no longer maintained.
+// The degrade hook spawns the probe, which retries the checkpoint.
+func (x *LiveShardedIndex) degradeOnCheckpoint(err error) {
+	x.s.EnterDegraded(fmt.Errorf("checkpoint: %w", err))
 }
 
 // CheckpointTo is Checkpoint that additionally streams the checkpoint
@@ -258,15 +361,21 @@ func (x *LiveShardedIndex) CheckpointTo(w io.Writer) error {
 		return fmt.Errorf("trajcover: no WAL attached (open with OpenLiveShardedIndex)")
 	}
 	x.wal.mu.Lock()
-	defer x.wal.mu.Unlock()
 	path, err := x.checkpointLocked()
 	if err != nil {
+		x.wal.mu.Unlock()
+		// The local checkpoint failed — a disk problem, not a client
+		// problem: degrade like Checkpoint does.
+		x.degradeOnCheckpoint(err)
 		return err
 	}
-	f, err := os.Open(path)
+	defer x.wal.mu.Unlock()
+	f, err := faultfs.Open(x.wal.fs, path)
 	if err != nil {
 		return err
 	}
+	// A copy failure past this point is the CLIENT's stream breaking
+	// (the checkpoint itself is durable) — reported, never degrading.
 	_, err = io.Copy(w, f)
 	f.Close()
 	return err
@@ -281,7 +390,8 @@ func (x *LiveShardedIndex) checkpointLocked() (string, error) {
 	}
 	final := filepath.Join(x.wal.dir, checkpointName(cut))
 	tmp := final + ".tmp"
-	f, err := os.Create(tmp)
+	fsys := x.wal.fs
+	f, err := faultfs.Create(fsys, tmp)
 	if err != nil {
 		return "", err
 	}
@@ -297,14 +407,14 @@ func (x *LiveShardedIndex) checkpointLocked() (string, error) {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return "", err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		fsys.Remove(tmp)
 		return "", err
 	}
-	if err := syncDirPath(x.wal.dir); err != nil {
+	if err := fsys.SyncDir(x.wal.dir); err != nil {
 		return "", err
 	}
 	// The new checkpoint is durable: pre-cut segments and older
@@ -313,7 +423,7 @@ func (x *LiveShardedIndex) checkpointLocked() (string, error) {
 	if err := x.s.WAL().RemoveBefore(cut); err != nil {
 		return final, err
 	}
-	if err := removeOldCheckpoints(x.wal.dir, cut); err != nil {
+	if err := removeOldCheckpoints(fsys, x.wal.dir, cut); err != nil {
 		return final, err
 	}
 	x.wal.lastCkpt.Store(time.Now().UnixNano())
@@ -322,8 +432,8 @@ func (x *LiveShardedIndex) checkpointLocked() (string, error) {
 
 // removeOldCheckpoints drops checkpoint files with cuts below keep,
 // plus any abandoned .tmp files.
-func removeOldCheckpoints(dir string, keep uint64) error {
-	ents, err := os.ReadDir(dir)
+func removeOldCheckpoints(fsys faultfs.FS, dir string, keep uint64) error {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
@@ -343,29 +453,136 @@ func removeOldCheckpoints(dir string, keep uint64) error {
 	}
 	sort.Strings(stale)
 	for _, name := range stale {
-		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
 			return err
 		}
 	}
 	if len(stale) > 0 {
-		return syncDirPath(dir)
+		return fsys.SyncDir(dir)
 	}
 	return nil
 }
 
-// syncDirPath fsyncs a directory so renames/removes in it are durable.
-func syncDirPath(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
+// startProbe spawns the degraded-mode recovery goroutine if one is not
+// already running. Called from the degrade hook (on the failing
+// writer's goroutine) and from the probe's own tail when a fresh
+// degradation raced its exit.
+func (x *LiveShardedIndex) startProbe() {
+	w := x.wal
+	if w == nil {
+		return
 	}
-	err = d.Sync()
-	cerr := d.Close()
-	if err != nil {
-		return err
+	if !w.probing.CompareAndSwap(false, true) {
+		return // a probe is already running
 	}
-	return cerr
+	select {
+	case <-w.stop:
+		w.probing.Store(false)
+		return
+	default:
+	}
+	w.wg.Add(1)
+	go x.probeLoop()
 }
+
+// probeLoop retries recovery with capped exponential backoff + jitter
+// until the index is healthy or the WAL is closed. Exactly one runs at
+// a time (w.probing); Close waits for it via w.wg, so wedge→recover
+// cycles never leak goroutines.
+func (x *LiveShardedIndex) probeLoop() {
+	w := x.wal
+	defer w.wg.Done()
+	backoff := w.opts.ProbeMin
+	for {
+		// Full jitter over [backoff, 1.5*backoff): concurrent tenants
+		// degraded by one bad disk don't thunder back in lockstep.
+		d := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		select {
+		case <-w.stop:
+			w.probing.Store(false)
+			return
+		case <-time.After(d):
+		}
+		if !x.s.Degraded() {
+			break // recovered by other means (e.g. an explicit retry)
+		}
+		w.probes.Add(1)
+		if err := x.tryRecover(); err == nil {
+			w.recoveries.Add(1)
+			break
+		}
+		backoff *= 2
+		if backoff > w.opts.ProbeMax {
+			backoff = w.opts.ProbeMax
+		}
+	}
+	w.probing.Store(false)
+	// A degradation that landed between the recovery and the flag reset
+	// found probing=true and did not spawn — respawn for it.
+	if x.s.Degraded() {
+		x.startProbe()
+	}
+}
+
+// tryRecover attempts one wedge→healthy transition. Sequence — each
+// step justified by the ack invariant (nothing acked that disk
+// refused; recovery replays nothing):
+//
+//  1. Close the wedged log (best effort; it already refuses writes)
+//     and open a successor over the same directory. wal.Open verifies
+//     and truncates the torn tail, and appends resume in a FRESH
+//     segment — replayed bytes are immutable history.
+//  2. Swap the successor in while writes are still rejected, so no
+//     write can race the half-installed log.
+//  3. Checkpoint. The in-memory state may contain applied-but-unacked
+//     writes whose records the dying disk never persisted; the
+//     checkpoint makes memory and disk agree again (and cuts away the
+//     wedged segments) BEFORE any new write is accepted, so a later
+//     crash's replay can never see a delete of a record it skipped.
+//  4. Exit degraded mode: writes flow again.
+func (x *LiveShardedIndex) tryRecover() error {
+	w := x.wal
+	if old := x.s.WAL(); old != nil {
+		old.Close()
+	}
+	log, err := wal.Open(w.dir, w.opts.walOptions())
+	if err != nil {
+		return err
+	}
+	x.s.SwapWAL(log)
+	w.mu.Lock()
+	_, err = x.checkpointLocked()
+	w.mu.Unlock()
+	if err != nil {
+		// The next attempt will close this log and open its successor.
+		return err
+	}
+	x.s.ExitDegraded()
+	return nil
+}
+
+// Health snapshots the degraded-mode state machine and the recovery
+// probe counters. Usable on any live index; the probe counters are
+// zero without a WAL.
+func (x *LiveShardedIndex) Health() Health {
+	h := x.s.Health()
+	out := Health{
+		Degraded: h.Degraded,
+		Cause:    h.Cause,
+		Since:    h.Since,
+		Entries:  h.Entries,
+		Exits:    h.Exits,
+	}
+	if x.wal != nil {
+		out.Probes = x.wal.probes.Load()
+		out.Recoveries = x.wal.recoveries.Load()
+	}
+	return out
+}
+
+// Degraded reports whether the index is currently rejecting writes in
+// degraded read-only mode.
+func (x *LiveShardedIndex) Degraded() bool { return x.s.Degraded() }
 
 // WALStats returns durability counters; ok is false for an index with
 // no WAL.
@@ -387,13 +604,20 @@ func (x *LiveShardedIndex) WALStats() (WALStats, bool) {
 	return out, true
 }
 
-// Close releases the WAL (flushing and fsyncing its tail). Acknowledged
-// writes are durable before Close per the sync policy; Close makes the
-// unacknowledged tail durable too. Queries remain usable; further
-// writes fail. No-op for an index without a WAL. Idempotent.
+// Close releases the WAL (flushing and fsyncing its tail) after
+// stopping the degraded-mode recovery probe, if one is running.
+// Acknowledged writes are durable before Close per the sync policy;
+// Close makes the unacknowledged tail durable too. Queries remain
+// usable; further writes fail. No-op for an index without a WAL.
+// Idempotent.
 func (x *LiveShardedIndex) Close() error {
 	if x.wal == nil {
 		return nil
 	}
-	return x.s.WAL().Close()
+	x.wal.stopOnce.Do(func() { close(x.wal.stop) })
+	x.wal.wg.Wait()
+	if log := x.s.WAL(); log != nil {
+		return log.Close()
+	}
+	return nil
 }

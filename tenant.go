@@ -222,7 +222,9 @@ func (r *TenantRegistry) openTenantLocked(id string) (*LiveShardedIndex, error) 
 // least-recently-used idle durable one is checkpointed, closed, and
 // dropped (to reopen from its directory on next access). Pinned or
 // in-use tenants are never touched; an eviction whose checkpoint fails
-// leaves the tenant open rather than risk its tail.
+// leaves the tenant open rather than risk its tail (the failed
+// checkpoint also flips that tenant to degraded mode, so its own
+// backoff probe — not the eviction path — owns the retry).
 func (r *TenantRegistry) evictLocked() {
 	if r.opts.MaxOpen <= 0 {
 		return
@@ -298,6 +300,44 @@ func (r *TenantRegistry) Tenants() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Degraded reports every OPEN tenant currently in degraded read-only
+// mode, as id → cause. Evicted tenants have no live state to degrade
+// and are deliberately not reopened by this scan (health reporting must
+// never widen the working set), so a healthy registry returns an empty
+// map cheaply. Degradation is per tenant: each tenant's index owns its
+// own WAL directory, state machine, and recovery probe, so one
+// tenant's dying disk never degrades another.
+func (r *TenantRegistry) Degraded() map[string]string {
+	r.mu.Lock()
+	type openTenant struct {
+		id  string
+		idx *LiveShardedIndex
+	}
+	snap := make([]openTenant, 0, len(r.open))
+	for id, e := range r.open {
+		snap = append(snap, openTenant{id, e.idx})
+	}
+	r.mu.Unlock()
+	out := map[string]string{}
+	for _, t := range snap {
+		if h := t.idx.Health(); h.Degraded {
+			out[t.id] = h.Cause
+		}
+	}
+	return out
+}
+
+// Health reports tenant id's degraded-mode state. The tenant must be
+// known; like reads, health checks never create tenants.
+func (r *TenantRegistry) Health(id string) (Health, error) {
+	idx, release, err := r.Acquire(id, false)
+	if err != nil {
+		return Health{}, err
+	}
+	defer release()
+	return idx.Health(), nil
 }
 
 // Stats reads the registry counters.
