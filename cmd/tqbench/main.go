@@ -80,6 +80,16 @@ func main() {
 		Title: "extra — query latency through a WAL wedge and degraded-mode auto-recovery (NYT, not in the paper)",
 		Run:   expFaults,
 	})
+	bench.RegisterExtra(bench.Experiment{
+		ID:    "mmaptier",
+		Title: "extra — frozen snapshot open: heap restore vs mmap alias, with RSS deltas (NYT, not in the paper)",
+		Run:   expMmaptier,
+	})
+	bench.RegisterExtra(bench.Experiment{
+		ID:    "rescache",
+		Title: "extra — tqserve repeated-query throughput with the result cache off vs on (NYT, not in the paper)",
+		Run:   expRescache,
+	})
 
 	if *list {
 		for _, e := range bench.Registry() {

@@ -97,6 +97,8 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 		tenantMaxOpen = fs.Int("tenant-max-open", 0, "max concurrently open tenant indexes (0 = unlimited)")
 		overridesFile = fs.String("overrides-file", "", "per-tenant limits file (YAML or JSON), reloaded on SIGHUP and -overrides-poll")
 		overridesPoll = fs.Duration("overrides-poll", 10*time.Second, "poll period for -overrides-file changes (0 = SIGHUP only)")
+		mmapSnapshot  = fs.Bool("mmap", false, "restore -snapshot by memory-mapping it (columns served from the page cache)")
+		resultCache   = fs.Int64("result-cache-bytes", 64<<20, "epoch-keyed result cache budget for topk/servicevalues (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,11 +158,12 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 			release()
 		}
 		srv = server.NewMulti(reg, server.Config{
-			Workers:        *workers,
-			QueueDepth:     *queue,
-			DefaultTimeout: *timeout,
-			MaxTimeout:     *maxTimeout,
-			MaxBodyBytes:   *maxBody,
+			Workers:          *workers,
+			QueueDepth:       *queue,
+			DefaultTimeout:   *timeout,
+			MaxTimeout:       *maxTimeout,
+			MaxBodyBytes:     *maxBody,
+			ResultCacheBytes: *resultCache,
 		})
 	} else {
 		var idx *trajcover.LiveShardedIndex
@@ -178,21 +181,22 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 				ProbeMin:     *walProbeMin,
 				ProbeMax:     *walProbeMax,
 			}, pol, func() (*trajcover.LiveShardedIndex, error) {
-				return buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
+				return buildIndex(*snapshot, *mmapSnapshot, *synthetic, *seed, *shards, *partitioner, pol)
 			})
 		} else {
-			idx, err = buildIndex(*snapshot, *synthetic, *seed, *shards, *partitioner, pol)
+			idx, err = buildIndex(*snapshot, *mmapSnapshot, *synthetic, *seed, *shards, *partitioner, pol)
 		}
 		if err != nil {
 			return err
 		}
 		defer idx.Close()
 		srv = server.New(idx, server.Config{
-			Workers:        *workers,
-			QueueDepth:     *queue,
-			DefaultTimeout: *timeout,
-			MaxTimeout:     *maxTimeout,
-			MaxBodyBytes:   *maxBody,
+			Workers:          *workers,
+			QueueDepth:       *queue,
+			DefaultTimeout:   *timeout,
+			MaxTimeout:       *maxTimeout,
+			MaxBodyBytes:     *maxBody,
+			ResultCacheBytes: *resultCache,
 		})
 	}
 
@@ -303,8 +307,11 @@ func parsePartitioner(name string) (trajcover.Partitioner, error) {
 }
 
 // buildIndex restores or generates the served index.
-func buildIndex(snapshot string, synthetic int, seed int64, shards int, partitioner string, pol trajcover.LivePolicy) (*trajcover.LiveShardedIndex, error) {
+func buildIndex(snapshot string, mmapSnapshot bool, synthetic int, seed int64, shards int, partitioner string, pol trajcover.LivePolicy) (*trajcover.LiveShardedIndex, error) {
 	if snapshot != "" {
+		if mmapSnapshot {
+			return trajcover.OpenMappedLiveSnapshot(snapshot, pol)
+		}
 		f, err := os.Open(snapshot)
 		if err != nil {
 			return nil, err

@@ -80,13 +80,13 @@ func TestRunServesAndDrains(t *testing.T) {
 // TestBuildIndexErrors pins the CLI's configuration failure modes.
 func TestBuildIndexErrors(t *testing.T) {
 	var pol trajcover.LivePolicy
-	if _, err := buildIndex("", 0, 1, 1, "hash", pol); err == nil {
+	if _, err := buildIndex("", false, 0, 1, 1, "hash", pol); err == nil {
 		t.Fatal("no data source accepted")
 	}
-	if _, err := buildIndex("", 10, 1, 1, "bogus", pol); err == nil {
+	if _, err := buildIndex("", false, 10, 1, 1, "bogus", pol); err == nil {
 		t.Fatal("bogus partitioner accepted")
 	}
-	if _, err := buildIndex("/does/not/exist.tqlive", 0, 1, 1, "hash", pol); err == nil {
+	if _, err := buildIndex("/does/not/exist.tqlive", false, 0, 1, 1, "hash", pol); err == nil {
 		t.Fatal("missing snapshot accepted")
 	}
 }

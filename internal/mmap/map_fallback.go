@@ -1,0 +1,19 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package mmap
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without mmap reads the file into a heap buffer.
+// Not zero-copy, but every caller-visible property holds: the bytes are
+// immutable-by-convention and live until the final Release.
+func mapFile(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func([]byte) error { return nil }, nil
+}

@@ -1,0 +1,18 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared (page-cache backed,
+// no copy on open).
+func mapFile(f *os.File, size int) ([]byte, func([]byte) error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, syscall.Munmap, nil
+}

@@ -17,6 +17,7 @@ package query
 
 import (
 	"context"
+	"runtime"
 
 	"github.com/trajcover/trajcover/internal/trajectory"
 )
@@ -96,18 +97,21 @@ func (e *Engine) TopKParallelCtx(ctx context.Context, facilities []*trajectory.F
 // ServiceValuesCtx is FrozenEngine.ServiceValues with cooperative
 // cancellation; see Engine.ServiceValuesCtx.
 func (e *FrozenEngine) ServiceValuesCtx(ctx context.Context, facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
+	defer runtime.KeepAlive(e.f)
 	return serviceValuesG[int32](frozenLayout{e.f}, facilities, p, workers, newCanceller(ctx))
 }
 
 // TopKCtx is FrozenEngine.TopK with cooperative cancellation; see
 // Engine.TopKCtx.
 func (e *FrozenEngine) TopKCtx(ctx context.Context, facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
+	defer runtime.KeepAlive(e.f)
 	return topKG[int32](frozenLayout{e.f}, facilities, k, p, newCanceller(ctx))
 }
 
 // TopKParallelCtx is FrozenEngine.TopKParallel with cooperative
 // cancellation; see Engine.TopKParallelCtx.
 func (e *FrozenEngine) TopKParallelCtx(ctx context.Context, facilities []*trajectory.Facility, k int, p Params, workers int) ([]Result, Metrics, error) {
+	defer runtime.KeepAlive(e.f)
 	workers = ResolveWorkers(workers, len(facilities))
 	if workers <= 1 {
 		return e.TopKCtx(ctx, facilities, k, p)
@@ -119,5 +123,6 @@ func (e *FrozenEngine) TopKParallelCtx(ctx context.Context, facilities []*trajec
 // both the masked base batch and the per-facility delta folds check ctx
 // between facilities.
 func (ep *Epoch) ServiceValuesCtx(ctx context.Context, facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
+	defer runtime.KeepAlive(ep)
 	return ep.serviceValues(facilities, p, workers, newCanceller(ctx))
 }

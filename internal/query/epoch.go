@@ -24,6 +24,7 @@ package query
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -299,6 +300,7 @@ func deltaObjective(v tqtree.Variant, sc service.Scenario, u *trajectory.Traject
 // scan. With an empty delta and no tombstones it is byte-identical —
 // answer and Metrics — to FrozenEngine.ServiceValue.
 func (ep *Epoch) ServiceValue(f *trajectory.Facility, p Params) (float64, Metrics, error) {
+	defer runtime.KeepAlive(ep)
 	if err := ep.validate(p); err != nil {
 		return 0, Metrics{}, err
 	}
@@ -320,6 +322,9 @@ func (ep *Epoch) ServiceValues(facilities []*trajectory.Facility, p Params, work
 }
 
 func (ep *Epoch) serviceValues(facilities []*trajectory.Facility, p Params, workers int, cc *canceller) ([]float64, Metrics, error) {
+	// Pins a mapped base (and mapped delta points) for the whole batch;
+	// see FrozenEngine.ServiceValue.
+	defer runtime.KeepAlive(ep)
 	if err := ep.validate(p); err != nil {
 		return nil, Metrics{}, err
 	}

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"runtime"
+
 	"github.com/trajcover/trajcover/internal/tqtree"
 	"github.com/trajcover/trajcover/internal/trajectory"
 )
@@ -32,6 +34,12 @@ func (e *FrozenEngine) Users() *trajectory.Set { return e.users }
 // ServiceValue computes SO(U, f) exactly via the divide-and-conquer
 // traversal of Algorithm 1 over the flat layout.
 func (e *FrozenEngine) ServiceValue(f *trajectory.Facility, p Params) (float64, Metrics, error) {
+	// Mapped indexes serve column slices that alias a file mapping whose
+	// lifetime is a finalizer on e.f's pin; the KeepAlive pins e.f (and
+	// so the mapping) across the whole evaluation even if the compiler
+	// proves e.f itself dead mid-call. Same pattern on every query entry
+	// point below and on Epoch.
+	defer runtime.KeepAlive(e.f)
 	l := frozenLayout{e.f}
 	if err := validateQuery[int32](l, p); err != nil {
 		return 0, Metrics{}, err
@@ -48,23 +56,27 @@ func (e *FrozenEngine) ServiceValue(f *trajectory.Facility, p Params) (float64, 
 // sharding the facilities across a pool of workers; see
 // Engine.ServiceValues.
 func (e *FrozenEngine) ServiceValues(facilities []*trajectory.Facility, p Params, workers int) ([]float64, Metrics, error) {
+	defer runtime.KeepAlive(e.f)
 	return serviceValuesG[int32](frozenLayout{e.f}, facilities, p, workers, nil)
 }
 
 // TopK answers the kMaxRRST query best first; see Engine.TopK.
 func (e *FrozenEngine) TopK(facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
+	defer runtime.KeepAlive(e.f)
 	return topKG[int32](frozenLayout{e.f}, facilities, k, p, nil)
 }
 
 // TopKExhaustive evaluates every facility and sorts; see
 // Engine.TopKExhaustive.
 func (e *FrozenEngine) TopKExhaustive(facilities []*trajectory.Facility, k int, p Params) ([]Result, Metrics, error) {
+	defer runtime.KeepAlive(e.f)
 	return topKExhaustiveG[int32](frozenLayout{e.f}, facilities, k, p)
 }
 
 // TopKParallel is TopK with up to `workers` frontier states relaxed
 // concurrently per round; see Engine.TopKParallel.
 func (e *FrozenEngine) TopKParallel(facilities []*trajectory.Facility, k int, p Params, workers int) ([]Result, Metrics, error) {
+	defer runtime.KeepAlive(e.f)
 	workers = ResolveWorkers(workers, len(facilities))
 	if workers <= 1 {
 		return e.TopK(facilities, k, p)

@@ -60,13 +60,16 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	trajcover "github.com/trajcover/trajcover"
+	"github.com/trajcover/trajcover/internal/rescache"
 	"github.com/trajcover/trajcover/internal/tenant"
 )
 
@@ -88,6 +91,12 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the Retry-After hint on 429 responses (<= 0: 1s).
 	RetryAfter time.Duration
+	// ResultCacheBytes bounds the epoch-keyed result cache for /v1/topk
+	// and /v1/servicevalues answers (<= 0: disabled). Entries key on the
+	// request's canonical hash, the tenant, and the index's write
+	// version, so a cached answer is always what the index would answer
+	// right now — writes invalidate by construction, not by purging.
+	ResultCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -207,11 +216,35 @@ type IndexSnapshot struct {
 }
 
 // ProcessSnapshot is the process-level /statsz section: the figures an
-// operator correlates with degraded windows and leak reports.
+// operator correlates with degraded windows and leak reports. RSSBytes
+// is the OS-visible resident set from /proc/self/statm (0 where that
+// file is unavailable); alongside HeapInuseBytes it makes the memory
+// tiers legible — a mapped snapshot shows up as the gap between a
+// large RSS and a small heap, and memory pressure evicts it from the
+// RSS without the heap moving.
 type ProcessSnapshot struct {
 	Goroutines     int     `json:"goroutines"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	HeapInuseBytes uint64  `json:"heap_inuse_bytes"`
+	RSSBytes       uint64  `json:"rss_bytes"`
+}
+
+// readRSSBytes reads the resident set size from /proc/self/statm
+// (second field, pages). Returns 0 on platforms without procfs.
+func readRSSBytes() uint64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * uint64(os.Getpagesize())
 }
 
 // WALSnapshot is the durability layer's state as reported by /statsz
@@ -250,6 +283,7 @@ type Stats struct {
 	DegradedTenants map[string]string              `json:"degraded_tenants,omitempty"`
 	Registry        *trajcover.TenantRegistryStats `json:"registry,omitempty"`
 	OverridesInfo   *OverridesSnapshot             `json:"overrides,omitempty"`
+	ResultCache     *rescache.Snapshot             `json:"result_cache,omitempty"`
 }
 
 // OverridesSnapshot reports the overrides reload counters /statsz shows
@@ -270,6 +304,10 @@ type Server struct {
 	idx   *trajcover.LiveShardedIndex
 	reg   *trajcover.TenantRegistry
 	queue chan *task
+
+	// cache is the epoch-keyed result cache (nil when disabled; a nil
+	// *rescache.Cache is a valid always-miss cache).
+	cache *rescache.Cache
 
 	// qmu makes Close safe against stragglers: enqueues hold the read
 	// side, Close closes the queue under the write side. The intended
@@ -333,6 +371,7 @@ func newServer(idx *trajcover.LiveShardedIndex, reg *trajcover.TenantRegistry, c
 		idx:        idx,
 		reg:        reg,
 		queue:      make(chan *task, cfg.QueueDepth),
+		cache:      rescache.New(cfg.ResultCacheBytes),
 		start:      time.Now(),
 		mux:        http.NewServeMux(),
 		stats:      map[string]*endpointStats{},
@@ -542,7 +581,18 @@ func (s *Server) rejectQuota(w http.ResponseWriter, ep *endpointStats, tid strin
 // is genuinely done with the task — not until the handler gives up — so
 // quotas bound real queue + worker occupancy. All terminal paths update
 // the endpoint's counters; only this handler goroutine writes w.
-func (s *Server) executeTenant(w http.ResponseWriter, r *http.Request, ep *endpointStats, tid string, isWrite bool, timeoutMS int64, run func(ctx context.Context, idx *trajcover.LiveShardedIndex) response) {
+//
+// reqHash, when non-nil, is the request's canonical digest and makes
+// the work cacheable: the handler captures the index version v, probes
+// the cache at (hash, tenant, v) — a hit answers from the handler
+// goroutine, bypassing the queue entirely — and on a miss the worker
+// stores its 200 answer only if the version still reads v afterwards.
+// That capture/compute/recheck protocol is what keeps the cache
+// linearizable: an equal recheck proves no epoch was published while
+// the query ran, and a version observed at request time always names
+// an answer the client could have gotten from an uncached server at
+// that moment. Per-tenant quota admission still applies to hits.
+func (s *Server) executeTenant(w http.ResponseWriter, r *http.Request, ep *endpointStats, tid string, isWrite bool, timeoutMS int64, reqHash *[32]byte, run func(ctx context.Context, idx *trajcover.LiveShardedIndex) response) {
 	start := time.Now()
 	ep.requests.Add(1)
 
@@ -570,6 +620,26 @@ func (s *Server) executeTenant(w http.ResponseWriter, r *http.Request, ep *endpo
 		}
 		writeJSON(w, status, ErrorResponse{Error: err.Error()})
 		return
+	}
+
+	if reqHash != nil && s.cache != nil {
+		ver := idx.Version()
+		key := rescache.Key{Hash: *reqHash, Tenant: tid, Version: ver}
+		if body, ok := s.cache.Get(key); ok {
+			gate.Cancel()
+			release()
+			ep.observe(time.Since(start))
+			writeRaw(w, http.StatusOK, body)
+			return
+		}
+		inner := run
+		run = func(ctx context.Context, idx *trajcover.LiveShardedIndex) response {
+			resp := inner(ctx, idx)
+			if resp.status == http.StatusOK && idx.Version() == ver {
+				s.cache.Put(key, resp.body)
+			}
+			return resp
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(timeoutMS, lim))
@@ -681,7 +751,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.rejectDecode(w, ep, err)
 		return
 	}
-	s.executeTenant(w, r, ep, tid, false, req.TimeoutMS, func(ctx context.Context, idx *trajcover.LiveShardedIndex) response {
+	hash := CanonicalQueryHash(PathTopK, req, req.K, q)
+	s.executeTenant(w, r, ep, tid, false, req.TimeoutMS, &hash, func(ctx context.Context, idx *trajcover.LiveShardedIndex) response {
 		res, err := idx.TopKParallelCtx(ctx, facs, req.K, q, req.Workers)
 		if err != nil {
 			return errResponse(err)
@@ -706,13 +777,115 @@ func (s *Server) handleServiceValues(w http.ResponseWriter, r *http.Request) {
 		s.rejectDecode(w, ep, err)
 		return
 	}
-	s.executeTenant(w, r, ep, tid, false, req.TimeoutMS, func(ctx context.Context, idx *trajcover.LiveShardedIndex) response {
+	if r.URL.Query().Get("stream") == "1" {
+		s.streamServiceValues(w, r, ep, tid, req, facs, q)
+		return
+	}
+	hash := CanonicalQueryHash(PathServiceValues, req, 0, q)
+	s.executeTenant(w, r, ep, tid, false, req.TimeoutMS, &hash, func(ctx context.Context, idx *trajcover.LiveShardedIndex) response {
 		vs, err := idx.ServiceValuesCtx(ctx, facs, q, req.Workers)
 		if err != nil {
 			return errResponse(err)
 		}
 		return response{status: http.StatusOK, body: MarshalValuesResponse(vs)}
 	})
+}
+
+// streamServiceValues answers /v1/servicevalues?stream=1: the same
+// query as the batch path, delivered as NDJSON — one StreamChunk line
+// per facility chunk, in facility order, ending with a StreamTrailer
+// line on success or an ErrorResponse line if the query fails after
+// the first chunk was sent (headers are committed by then, so the
+// status stays 200 and the error travels in-band; a stream without a
+// trailer is truncated). Values are bit-identical to the batch
+// response over the same facilities: chunks run the same batch core,
+// and the stream answers from one epoch capture taken before the
+// first chunk. Streams run inline on the handler goroutine — they
+// hold a response open for their whole life, which the worker pool's
+// occupancy model is not built for — but still pass per-tenant
+// admission and count against inflight quota until done. Streamed
+// responses bypass the result cache (the cache stores whole bodies,
+// and a client asking to stream is asking not to wait for one).
+// Chunk size comes from ?chunk=N (default query.DefaultStreamChunk).
+func (s *Server) streamServiceValues(w http.ResponseWriter, r *http.Request, ep *endpointStats, tid string, req *QueryRequest, facs []*trajcover.Facility, q trajcover.Query) {
+	start := time.Now()
+	ep.requests.Add(1)
+
+	chunk := 0
+	if c := r.URL.Query().Get("chunk"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil || n <= 0 {
+			ep.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "chunk must be a positive integer"})
+			return
+		}
+		chunk = n
+	}
+
+	lim := s.limitsFor(tid)
+	gate := s.gateOf(tid)
+	ok, reason := gate.Admit(lim)
+	if !ok {
+		s.rejectQuota(w, ep, tid, reason)
+		return
+	}
+	gate.Started()
+	defer gate.Finished()
+	idx, release, err := s.acquireTenant(tid, false)
+	if err != nil {
+		ep.errors.Add(1)
+		status := http.StatusInternalServerError
+		if errors.Is(err, trajcover.ErrUnknownTenant) {
+			status = http.StatusNotFound
+		} else if trajcover.IsBadTenantID(err) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS, lim))
+	defer cancel()
+
+	flusher, _ := w.(http.Flusher)
+	wrote := false
+	err = idx.ServiceValuesStreamCtx(ctx, facs, q, req.Workers, chunk, func(at int, vals []float64) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		if _, err := w.Write(MarshalStreamChunk(at, vals)); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		ep.errors.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			ep.deadline.Add(1)
+		}
+		if !wrote {
+			resp := errResponse(err)
+			writeRaw(w, resp.status, resp.body)
+		} else {
+			w.Write(append(mustMarshal(ErrorResponse{Error: err.Error()}), '\n'))
+		}
+		return
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	w.Write(append(mustMarshal(StreamTrailer{Done: true, Count: len(facs)}), '\n'))
+	if flusher != nil {
+		flusher.Flush()
+	}
+	ep.observe(time.Since(start))
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -731,7 +904,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		s.rejectDecode(w, ep, err)
 		return
 	}
-	s.executeTenant(w, r, ep, tid, true, req.TimeoutMS, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
+	s.executeTenant(w, r, ep, tid, true, req.TimeoutMS, nil, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
 		if err := idx.Insert(u); err != nil {
 			// Duplicate IDs and unroutable (immutable-restore) inserts
 			// are conflicts with the served corpus, not malformed input.
@@ -768,7 +941,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.rejectDecode(w, ep, err)
 		return
 	}
-	s.executeTenant(w, r, ep, tid, true, req.TimeoutMS, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
+	s.executeTenant(w, r, ep, tid, true, req.TimeoutMS, nil, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
 		found, err := idx.Delete(trajcover.ID(req.ID))
 		if err != nil {
 			// The delete was not acknowledged: transient 503 while
@@ -795,7 +968,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	}
 	// Compact is not deadline-aware below the swap points; give it the
 	// full MaxTimeout rather than the query default.
-	s.executeTenant(w, r, ep, tid, false, s.cfg.MaxTimeout.Milliseconds(), func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
+	s.executeTenant(w, r, ep, tid, false, s.cfg.MaxTimeout.Milliseconds(), nil, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
 		if err := idx.Compact(); err != nil {
 			return response{status: http.StatusInternalServerError, body: mustMarshal(ErrorResponse{Error: err.Error()})}
 		}
@@ -974,6 +1147,7 @@ func (s *Server) Stats() Stats {
 			Goroutines:     runtime.NumGoroutine(),
 			UptimeSeconds:  time.Since(s.start).Seconds(),
 			HeapInuseBytes: mem.HeapInuse,
+			RSSBytes:       readRSSBytes(),
 		},
 		Endpoints: make(map[string]EndpointSnapshot, len(s.stats)),
 	}
@@ -1018,6 +1192,10 @@ func (s *Server) Stats() Stats {
 	if s.ovrStatus != nil {
 		ost := s.ovrStatus()
 		st.OverridesInfo = &ost
+	}
+	if s.cache != nil {
+		cst := s.cache.Stats()
+		st.ResultCache = &cst
 	}
 	return st
 }

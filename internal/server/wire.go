@@ -15,8 +15,11 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 
 	trajcover "github.com/trajcover/trajcover"
@@ -287,6 +290,35 @@ func DecodeDeleteRequest(data []byte) (*DeleteRequest, error) {
 	return &req, nil
 }
 
+// CanonicalQueryHash digests exactly the answer-affecting fields of a
+// query request — the endpoint, scenario, ψ, k (0 for endpoints that
+// ignore it), and the facilities' IDs and stop coordinates, all
+// bit-exact — and nothing operational: workers and timeout_ms change
+// how fast an answer arrives, never what it is, so requests differing
+// only there share one cache line. The tenant and the index version
+// join the digest in the cache key, not here.
+func CanonicalQueryHash(endpoint string, req *QueryRequest, k int, q trajcover.Query) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	wr := func(v uint64) { binary.LittleEndian.PutUint64(buf[:], v); h.Write(buf[:]) }
+	io.WriteString(h, endpoint)
+	wr(uint64(q.Scenario))
+	wr(math.Float64bits(q.Psi))
+	wr(uint64(k))
+	wr(uint64(len(req.Facilities)))
+	for _, f := range req.Facilities {
+		wr(uint64(f.ID))
+		wr(uint64(len(f.Stops)))
+		for _, st := range f.Stops {
+			wr(math.Float64bits(st[0]))
+			wr(math.Float64bits(st[1]))
+		}
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
 // MarshalTopKResponse encodes a top-k answer exactly as the handler
 // does — exported so tests (and clients embedded in the bench harness)
 // can assert byte identity against direct library calls.
@@ -302,6 +334,29 @@ func MarshalTopKResponse(results []trajcover.Ranked) []byte {
 // handler does.
 func MarshalValuesResponse(values []float64) []byte {
 	return mustMarshal(ValuesResponse{Values: values})
+}
+
+// StreamChunk is one NDJSON line of a streamed servicevalues
+// response: Values[i] is the service value of facility Start+i.
+// Chunks arrive in facility order.
+type StreamChunk struct {
+	Start  int       `json:"start"`
+	Values []float64 `json:"values"`
+}
+
+// StreamTrailer is the final NDJSON line of a complete stream: Count
+// is the total number of facilities answered. Clients must treat a
+// stream that ends without a trailer (or with an {"error": ...} line)
+// as truncated.
+type StreamTrailer struct {
+	Done  bool `json:"done"`
+	Count int  `json:"count"`
+}
+
+// MarshalStreamChunk encodes one stream line, newline-terminated,
+// exactly as the streaming handler does.
+func MarshalStreamChunk(start int, values []float64) []byte {
+	return append(mustMarshal(StreamChunk{Start: start, Values: values}), '\n')
 }
 
 // mustMarshal encodes values whose shapes cannot fail (no NaN floats

@@ -150,6 +150,15 @@ type Live struct {
 	wmu    sync.RWMutex
 	shards []*liveShard
 
+	// version counts epoch publishes across all shards: it is bumped
+	// (inside wmu) after every successful Insert, Delete, and rebuild
+	// swap. Result caches key on it — any two reads of an unchanged
+	// version bracket a window with no epoch publish, so an answer
+	// computed inside that window is current for the version. The
+	// counter is monotone and never reused, which is what makes the
+	// capture/compute/recheck caching protocol sound.
+	version atomic.Uint64
+
 	// lastErr records the most recent background-rebuild failure (wmu);
 	// surfaced via Err. Rebuild inputs are validated epochs, so this
 	// stays nil outside of resource exhaustion.
@@ -321,6 +330,12 @@ func (l *Live) Epochs() []*query.Epoch {
 	l.wmu.RUnlock()
 	return out
 }
+
+// Version returns the epoch-publish counter: it increases after every
+// acknowledged write and every rebuild swap, and is never reused. Two
+// equal reads bracketing a computation prove no epoch was published
+// while it ran — the invalidation primitive for result caches.
+func (l *Live) Version() uint64 { return l.version.Load() }
 
 // Len returns the total logical corpus size.
 func (l *Live) Len() int {
@@ -584,6 +599,7 @@ func (l *Live) Insert(u *trajectory.Trajectory) error {
 	sh.delta = ep.Delta()
 	sh.deltaByID[u.ID] = u
 	sh.epoch.Store(ep)
+	l.version.Add(1)
 	l.maybeCompact(sh)
 	log := l.log
 	l.wmu.Unlock()
@@ -632,6 +648,7 @@ func (l *Live) Delete(id trajectory.ID) (bool, error) {
 				}
 			}
 			sh.epoch.Store(ep)
+			l.version.Add(1)
 			l.maybeCompact(sh)
 			return true, l.ackUnlock(lsn)
 		}
@@ -656,6 +673,7 @@ func (l *Live) Delete(id trajectory.ID) (bool, error) {
 		ep := sh.epoch.Load().WithTombstones(newDead, sh.gen)
 		sh.dead = newDead
 		sh.epoch.Store(ep)
+		l.version.Add(1)
 		l.maybeCompact(sh)
 		return true, l.ackUnlock(lsn)
 	}
@@ -810,6 +828,7 @@ func (l *Live) rebuildShard(sh *liveShard) error {
 					}
 					sh.dead = newDead
 					sh.epoch.Store(ep)
+					l.version.Add(1)
 					sh.compactions.Add(1)
 				}
 				clearCapture()

@@ -1,0 +1,141 @@
+package shard
+
+// Streaming scatter-gather: the sharded batch executors re-cut to
+// yield per-facility service values chunk by chunk. Each chunk runs
+// the ordinary per-shard batch and sums shard answers in shard order —
+// exactly the arithmetic of the batch path, so streamed values are
+// bit-identical to ServiceValuesCtx over the same facilities. The live
+// variant captures its epoch set ONCE, up front: every chunk of one
+// stream answers from the same write-consistent cut, whatever writes
+// land while the stream runs.
+
+import (
+	"context"
+
+	"github.com/trajcover/trajcover/internal/query"
+	"github.com/trajcover/trajcover/internal/trajectory"
+)
+
+// streamShardedValues is the shared chunk loop: values(chunk) computes
+// one chunk's summed shard answer.
+func streamShardedValues(facilities []*trajectory.Facility, chunk int, values func(chunk []*trajectory.Facility) ([]float64, error), yield func(start int, vals []float64) error) error {
+	if chunk <= 0 {
+		chunk = query.DefaultStreamChunk
+	}
+	for start := 0; start < len(facilities); start += chunk {
+		end := start + chunk
+		if end > len(facilities) {
+			end = len(facilities)
+		}
+		vals, err := values(facilities[start:end])
+		if err != nil {
+			return err
+		}
+		if err := yield(start, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServiceValuesStreamCtx streams SO(U, f) over the frozen shards in
+// chunks of the given size (<= 0: query.DefaultStreamChunk), calling
+// yield(start, vals) once per chunk in facility order. Values are
+// bit-identical to ServiceValuesCtx. A yield error or a done context
+// aborts the stream; Metrics accumulate across yielded chunks.
+func (f *Frozen) ServiceValuesStreamCtx(ctx context.Context, facilities []*trajectory.Facility, p Params, workers, chunk int, yield func(start int, vals []float64) error) (query.Metrics, error) {
+	var m query.Metrics
+	if len(facilities) == 0 {
+		// Nothing to stream; still surface parameter validation like the
+		// batch path (serviceValuesG validates before the length check).
+		for _, e := range f.engines {
+			if _, sm, err := e.ServiceValuesCtx(ctx, nil, p, workers); err != nil {
+				return m, err
+			} else {
+				m.Add(sm)
+			}
+		}
+		return m, nil
+	}
+	err := streamShardedValues(facilities, chunk, func(chunk []*trajectory.Facility) ([]float64, error) {
+		out := make([]float64, len(chunk))
+		for _, e := range f.engines {
+			vs, sm, err := e.ServiceValuesCtx(ctx, chunk, p, workers)
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range vs {
+				out[i] += v
+			}
+			m.Add(sm)
+		}
+		return out, nil
+	}, yield)
+	return m, err
+}
+
+// ServiceValuesStreamCtx streams SO(U, f) over the heap shards; see
+// Frozen.ServiceValuesStreamCtx.
+func (s *Sharded) ServiceValuesStreamCtx(ctx context.Context, facilities []*trajectory.Facility, p Params, workers, chunk int, yield func(start int, vals []float64) error) (query.Metrics, error) {
+	var m query.Metrics
+	if len(facilities) == 0 {
+		for _, sh := range s.shards {
+			if _, sm, err := sh.engine.ServiceValuesCtx(ctx, nil, p, workers); err != nil {
+				return m, err
+			} else {
+				m.Add(sm)
+			}
+		}
+		return m, nil
+	}
+	err := streamShardedValues(facilities, chunk, func(chunk []*trajectory.Facility) ([]float64, error) {
+		out := make([]float64, len(chunk))
+		for _, sh := range s.shards {
+			vs, sm, err := sh.engine.ServiceValuesCtx(ctx, chunk, p, workers)
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range vs {
+				out[i] += v
+			}
+			m.Add(sm)
+		}
+		return out, nil
+	}, yield)
+	return m, err
+}
+
+// ServiceValuesStreamCtx streams SO(U, f) over the live shards; see
+// Frozen.ServiceValuesStreamCtx. The epoch set is captured once before
+// the first chunk, so the whole stream answers from one
+// write-consistent cut — a client consuming the stream concurrently
+// with writes sees the corpus as of the capture, never a mix.
+func (l *Live) ServiceValuesStreamCtx(ctx context.Context, facilities []*trajectory.Facility, p Params, workers, chunk int, yield func(start int, vals []float64) error) (query.Metrics, error) {
+	eps := l.Epochs()
+	var m query.Metrics
+	if len(facilities) == 0 {
+		for _, ep := range eps {
+			if _, sm, err := ep.ServiceValuesCtx(ctx, nil, p, workers); err != nil {
+				return m, err
+			} else {
+				m.Add(sm)
+			}
+		}
+		return m, nil
+	}
+	err := streamShardedValues(facilities, chunk, func(chunk []*trajectory.Facility) ([]float64, error) {
+		out := make([]float64, len(chunk))
+		for _, ep := range eps {
+			vs, sm, err := ep.ServiceValuesCtx(ctx, chunk, p, workers)
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range vs {
+				out[i] += v
+			}
+			m.Add(sm)
+		}
+		return out, nil
+	}, yield)
+	return m, err
+}

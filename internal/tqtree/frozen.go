@@ -80,7 +80,19 @@ type Frozen struct {
 	// trajs is the trajectory table entTraj indexes into, ordered by
 	// first appearance in the entry slab.
 	trajs []*trajectory.Trajectory
+
+	// pin, when non-nil, keeps the backing store of the columns
+	// reachable: a Frozen restored from a mapped snapshot aliases its
+	// slices onto the file mapping, and the mapping's release is driven
+	// by a finalizer on the pinned token. Heap-restored and frozen-in-
+	// process indexes leave it nil.
+	pin any
 }
+
+// SetPin attaches the object that owns the columns' backing store (the
+// mapped-snapshot token). Call once, right after FrozenFromColumns, and
+// before the Frozen is shared.
+func (f *Frozen) SetPin(p any) { f.pin = p }
 
 // Freeze builds the flat representation of a built tree. The tree is only
 // read; the result shares the trajectory objects but none of the node or

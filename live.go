@@ -154,6 +154,10 @@ func (x *LiveIndex) Stats() LiveShardStats { return x.s.Stats()[0] }
 // Err returns the most recent background-rebuild error, or nil.
 func (x *LiveIndex) Err() error { return x.s.Err() }
 
+// Version returns the monotone write-version counter; see
+// LiveShardedIndex.Version.
+func (x *LiveIndex) Version() uint64 { return x.s.Version() }
+
 // ServiceValue computes SO(U, f) over the current epoch (Algorithm 1
 // over the frozen base, masked by tombstones, plus the delta overlay).
 func (x *LiveIndex) ServiceValue(f *Facility, q Query) (float64, error) {
@@ -299,6 +303,12 @@ func (x *LiveShardedIndex) Compact() error { return x.s.Compact() }
 
 // Stats returns per-shard serving state.
 func (x *LiveShardedIndex) Stats() []LiveShardStats { return x.s.Stats() }
+
+// Version returns a monotone counter that increases after every
+// acknowledged write and every background rebuild swap. Two equal
+// reads bracketing a query prove the answer reflects the current
+// corpus — the key for epoch-keyed result caching.
+func (x *LiveShardedIndex) Version() uint64 { return x.s.Version() }
 
 // Err returns the most recent background-rebuild error, or nil.
 func (x *LiveShardedIndex) Err() error { return x.s.Err() }

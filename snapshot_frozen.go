@@ -15,6 +15,18 @@ package trajcover
 // CRC check, and the structural bounds validation in
 // tqtree.FrozenFromColumns — no tree rebuild, no sorting — which is what
 // makes frozen restore several times faster than the rebuild formats.
+//
+// Every multi-byte column starts at an offset that is a multiple of 8
+// from the payload start (zero pad bytes follow the int32 column groups
+// and the container headers/frames where needed), and each trajectory
+// record carries its precomputed length and MBR. Both exist for the
+// mapped-restore path (snapshot_mmap.go): 8-alignment lets the reader
+// alias float64/uint64/Rect/Point columns directly onto a page-aligned
+// file mapping, and the cached length/MBR make a mapped open O(columns)
+// instead of O(points). Pad bytes are covered by the CRCs like any other
+// payload byte. This is an internal revision of the TQSNAP03/TQSHRD02
+// (and TQLIVE01) encodings; streams written by earlier builds are not
+// readable, which these formats never promised.
 
 import (
 	"bufio"
@@ -105,6 +117,43 @@ func (cw *colWriter) points(vs []geo.Point) {
 		cw.u64(math.Float64bits(p.X))
 		cw.u64(math.Float64bits(p.Y))
 	}
+}
+
+// pad writes n zero bytes (n < 8; realigns the stream to 8 bytes after
+// an int32 column group).
+func (cw *colWriter) pad(n int) {
+	for i := 0; i < n; i++ {
+		cw.buf = append(cw.buf, 0)
+	}
+	cw.flushIfFull()
+}
+
+// pad8 returns the zero bytes needed to realign a stream to 8 after
+// size bytes.
+func pad8(size uint64) uint64 { return (8 - size%8) % 8 }
+
+// i32Pad returns the pad after an n-value int32 column group.
+func i32Pad(n uint64) int { return int(pad8(4 * n)) }
+
+// readZeroPad consumes n container pad bytes and requires them to be
+// zero. Container pads sit outside the header/frame CRCs (they realign
+// the stream after a CRC), so this explicit check is what keeps a
+// flipped pad bit a loud error instead of silently accepted input.
+func readZeroPad(r io.Reader, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	var buf [8]byte
+	b := buf[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		return fmt.Errorf("%w: truncated padding", ErrBadSnapshot)
+	}
+	for _, c := range b {
+		if c != 0 {
+			return fmt.Errorf("%w: nonzero padding", ErrBadSnapshot)
+		}
+	}
+	return nil
 }
 
 // colReader is the bulk little-endian reader. Columns are grown by
@@ -209,6 +258,19 @@ func (cr *colReader) points(n int) ([]geo.Point, error) {
 	return cr.pointsInto(make([]geo.Point, 0, minInt(n, 1<<15)), n)
 }
 
+// skip consumes n pad bytes (their value is ignored; the CRC covers
+// them).
+func (cr *colReader) skip(n int) error {
+	if n == 0 {
+		return nil
+	}
+	b := cr.buf[:n]
+	if _, err := io.ReadFull(cr.r, b); err != nil {
+		return fmt.Errorf("%w: truncated padding (%v)", ErrBadSnapshot, err)
+	}
+	return nil
+}
+
 func minInt(a, b int) int {
 	if a < b {
 		return a
@@ -228,20 +290,68 @@ func frozenPayloadSize(f *tqtree.Frozen) uint64 {
 	size += nn * 32                                   // node rects
 	size += nn * 4 * 2                                // childBase, childCount
 	size += (nn + 1) * 4                              // entryOff
+	size += pad8(4 * (3*nn + 1))                      // realign after the int32 group
 	size += nn * 8 * 2 * uint64(service.NumScenarios) // ownUB + treeUB
 	if c.Ordering == tqtree.ZOrder {
-		size += (nn + 1) * 4 // bucketOff
-		size += (nb + 1) * 4 // bktEntryOff
-		size += nb * 8 * 2   // bktMinStart, bktMaxStart
-		size += nb * 32 * 3  // bucket MBRs
+		size += (nn + 1) * 4            // bucketOff
+		size += (nb + 1) * 4            // bktEntryOff
+		size += pad8(4 * (nn + nb + 2)) // realign after the int32 group
+		size += nb * 8 * 2              // bktMinStart, bktMaxStart
+		size += nb * 32 * 3             // bucket MBRs
 	}
 	size += ne * 16 * 2 // entFirst, entLast
 	size += ne * 32     // entMBR
-	size += ne * 4 * 2  // entTraj, entSeg
+	size += ne * 4 * 2  // entTraj, entSeg (8·ne bytes — already 8-aligned)
 	for _, t := range f.Trajectories() {
-		size += trajectorySize(t)
+		size += frozenTrajectorySize(t)
 	}
 	return size
+}
+
+// frozenTrajectorySize is the encoded size of one frozen trajectory
+// record: u32 id, u32 point count, f64 length, Rect MBR, then the
+// points. 48+16n bytes — a multiple of 8, so records never break column
+// alignment. (The rebuild formats keep the smaller trajectorySize
+// record; only the frozen/live payloads cache length and MBR.)
+func frozenTrajectorySize(t *trajectory.Trajectory) uint64 {
+	return 4 + 4 + 8 + 32 + 16*uint64(t.Len())
+}
+
+// readFrozenTrajectoryRecord decodes one frozen trajectory record. The
+// recorded length/MBR are what the mapped reader serves without touching
+// the points; this heap reader recomputes them from the points (same
+// arithmetic, so bit-equal) and cross-checks, which catches a writer bug
+// or a CRC-fixed-up forgery before it can diverge the two restore paths.
+func readFrozenTrajectoryRecord(cr *colReader, i uint64) (*trajectory.Trajectory, error) {
+	b := cr.buf[:8]
+	if _, err := io.ReadFull(cr.r, b); err != nil {
+		return nil, fmt.Errorf("%w: truncated trajectory %d", ErrBadSnapshot, i)
+	}
+	id := binary.LittleEndian.Uint32(b)
+	npts := binary.LittleEndian.Uint32(b[4:])
+	if npts < 2 || npts > 1<<24 {
+		return nil, fmt.Errorf("%w: trajectory %d has %d points", ErrBadSnapshot, i, npts)
+	}
+	var lenBits uint64
+	if err := cr.u64(&lenBits); err != nil {
+		return nil, fmt.Errorf("%w: truncated trajectory %d", ErrBadSnapshot, i)
+	}
+	mbrCol, err := cr.rects(1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated trajectory %d", ErrBadSnapshot, i)
+	}
+	pts, err := cr.pointsInto(make([]geo.Point, 0, npts), int(npts))
+	if err != nil {
+		return nil, err
+	}
+	t, err := trajectory.New(trajectory.ID(id), pts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if math.Float64bits(t.Length()) != lenBits || t.MBR() != mbrCol[0] {
+		return nil, fmt.Errorf("%w: trajectory %d cached length/MBR disagree with points", ErrBadSnapshot, i)
+	}
+	return t, nil
 }
 
 // writeFrozenPayload encodes the frozen index: a fixed header, the column
@@ -262,15 +372,19 @@ func writeFrozenPayload(w io.Writer, f *tqtree.Frozen) error {
 	cw.u64(uint64(len(c.EntFirst)))
 	cw.u64(uint64(len(f.Trajectories())))
 
+	nn := uint64(len(c.NodeRect))
+	nb := uint64(len(c.BktMinStart))
 	cw.rects(c.NodeRect)
 	cw.i32s(c.ChildBase)
 	cw.i32s(c.ChildCount)
 	cw.i32s(c.EntryOff)
+	cw.pad(i32Pad(3*nn + 1))
 	cw.f64s(c.OwnUB)
 	cw.f64s(c.TreeUB)
 	if c.Ordering == tqtree.ZOrder {
 		cw.i32s(c.BucketOff)
 		cw.i32s(c.BktEntryOff)
+		cw.pad(i32Pad(nn + nb + 2))
 		cw.u64s(c.BktMinStart)
 		cw.u64s(c.BktMaxStart)
 		cw.rects(c.BktStartMBR)
@@ -286,6 +400,8 @@ func writeFrozenPayload(w io.Writer, f *tqtree.Frozen) error {
 	for _, t := range f.Trajectories() {
 		cw.u32(uint32(t.ID))
 		cw.u32(uint32(t.Len()))
+		cw.u64(math.Float64bits(t.Length()))
+		cw.rects([]geo.Rect{t.MBR()})
 		cw.points(t.Points)
 	}
 	cw.flush()
@@ -340,6 +456,9 @@ func readFrozenPayload(r io.Reader) (*tqtree.Frozen, *trajectory.Set, error) {
 		c.EntryOff, err = cr.i32s(int(nn) + 1)
 	}
 	if err == nil {
+		err = cr.skip(i32Pad(3*nn + 1))
+	}
+	if err == nil {
 		c.OwnUB, err = cr.f64s(int(nn) * service.NumScenarios)
 	}
 	if err == nil {
@@ -349,6 +468,9 @@ func readFrozenPayload(r io.Reader) (*tqtree.Frozen, *trajectory.Set, error) {
 		c.BucketOff, err = cr.i32s(int(nn) + 1)
 		if err == nil {
 			c.BktEntryOff, err = cr.i32s(int(nb) + 1)
+		}
+		if err == nil {
+			err = cr.skip(i32Pad(nn + nb + 2))
 		}
 		if err == nil {
 			c.BktMinStart, err = cr.u64s(int(nb))
@@ -387,23 +509,9 @@ func readFrozenPayload(r io.Reader) (*tqtree.Frozen, *trajectory.Set, error) {
 
 	trajs := make([]*trajectory.Trajectory, 0, minInt(int(nt), 1<<16))
 	for i := uint64(0); i < nt; i++ {
-		var idNpts [2]uint32
-		b := cr.buf[:8]
-		if _, err := io.ReadFull(cr.r, b); err != nil {
-			return nil, nil, fmt.Errorf("%w: truncated trajectory %d", ErrBadSnapshot, i)
-		}
-		idNpts[0] = binary.LittleEndian.Uint32(b)
-		idNpts[1] = binary.LittleEndian.Uint32(b[4:])
-		if idNpts[1] < 2 || idNpts[1] > 1<<24 {
-			return nil, nil, fmt.Errorf("%w: trajectory %d has %d points", ErrBadSnapshot, i, idNpts[1])
-		}
-		pts, err := cr.pointsInto(make([]geo.Point, 0, idNpts[1]), int(idNpts[1]))
+		t, err := readFrozenTrajectoryRecord(cr, i)
 		if err != nil {
 			return nil, nil, err
-		}
-		t, err := trajectory.New(trajectory.ID(idNpts[0]), pts)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 		}
 		trajs = append(trajs, t)
 	}
@@ -495,6 +603,12 @@ func (x *FrozenShardedIndex) WriteSnapshot(w io.Writer) error {
 	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
 		return err
 	}
+	// Realign so every frame's payload starts 8-aligned in the file (the
+	// header is 24+len(kind) bytes, each frame 8+payload+4+4): the mapped
+	// reader aliases columns at file offsets.
+	if _, err := w.Write(make([]byte, pad8(uint64(len(kind))))); err != nil {
+		return err
+	}
 
 	for i := 0; i < x.s.NumShards(); i++ {
 		f := x.s.Engine(i).Frozen()
@@ -506,6 +620,9 @@ func (x *FrozenShardedIndex) WriteSnapshot(w io.Writer) error {
 			return err
 		}
 		if err := binary.Write(w, binary.LittleEndian, fcrc.Sum32()); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{0, 0, 0, 0}); err != nil {
 			return err
 		}
 	}
@@ -557,6 +674,9 @@ func ReadFrozenShardedSnapshot(r io.Reader) (*FrozenShardedIndex, error) {
 	if gotHdr != wantHdr {
 		return nil, fmt.Errorf("%w: header checksum mismatch", ErrBadSnapshot)
 	}
+	if err := readZeroPad(base, pad8(uint64(kindLen))); err != nil {
+		return nil, err
+	}
 
 	const maxShards = 1 << 16
 	if nShards == 0 || nShards > maxShards {
@@ -587,6 +707,9 @@ func ReadFrozenShardedSnapshot(r io.Reader) (*FrozenShardedIndex, error) {
 		}
 		if gotFrame != wantFrame {
 			return nil, fmt.Errorf("%w: frame %d checksum mismatch", ErrBadSnapshot, s)
+		}
+		if err := readZeroPad(base, 4); err != nil {
+			return nil, fmt.Errorf("frame %d: %w", s, err)
 		}
 		if s == 0 {
 			bounds = f.Bounds()

@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"sort"
 
+	"github.com/trajcover/trajcover/internal/geo"
 	"github.com/trajcover/trajcover/internal/query"
 	"github.com/trajcover/trajcover/internal/shard"
 	"github.com/trajcover/trajcover/internal/trajectory"
@@ -39,15 +41,18 @@ var liveMagic = [8]byte{'T', 'Q', 'L', 'I', 'V', 'E', '0', '1'}
 func livePayloadSize(ep *query.Epoch) uint64 {
 	size := frozenPayloadSize(ep.Base().Frozen())
 	size += 8 + 4*uint64(ep.TombstoneCount())
+	size += pad8(4 * uint64(ep.TombstoneCount())) // realign after the u32 tombstones
 	size += 8
 	for _, u := range ep.Delta() {
-		size += trajectorySize(u)
+		size += frozenTrajectorySize(u)
 	}
 	return size
 }
 
 // writeLivePayload encodes one epoch: frozen base columns, sorted
-// tombstone IDs, then the delta trajectories in overlay order.
+// tombstone IDs (padded back to 8-alignment), then the delta
+// trajectories in overlay order using the frozen record format
+// (cached length/MBR), so a mapped open can alias delta points too.
 func writeLivePayload(w io.Writer, ep *query.Epoch) error {
 	if err := writeFrozenPayload(w, ep.Base().Frozen()); err != nil {
 		return err
@@ -57,24 +62,23 @@ func writeLivePayload(w io.Writer, ep *query.Epoch) error {
 		dead = append(dead, uint32(id))
 	}
 	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
-	if err := binary.Write(w, binary.LittleEndian, uint64(len(dead))); err != nil {
-		return err
-	}
+	cw := newColWriter(w)
+	cw.u64(uint64(len(dead)))
 	for _, id := range dead {
-		if err := binary.Write(w, binary.LittleEndian, id); err != nil {
-			return err
-		}
+		cw.u32(id)
 	}
+	cw.pad(i32Pad(uint64(len(dead))))
 	delta := ep.Delta()
-	if err := binary.Write(w, binary.LittleEndian, uint64(len(delta))); err != nil {
-		return err
-	}
+	cw.u64(uint64(len(delta)))
 	for _, u := range delta {
-		if err := writeTrajectory(w, u); err != nil {
-			return err
-		}
+		cw.u32(uint32(u.ID))
+		cw.u32(uint32(u.Len()))
+		cw.u64(math.Float64bits(u.Length()))
+		cw.rects([]geo.Rect{u.MBR()})
+		cw.points(u.Points)
 	}
-	return nil
+	cw.flush()
+	return cw.err
 }
 
 // readLivePayload decodes one epoch frame and reassembles the epoch,
@@ -84,26 +88,30 @@ func readLivePayload(r io.Reader) (*query.Epoch, error) {
 	if err != nil {
 		return nil, err
 	}
+	cr := newColReader(r)
 	var nDead uint64
-	if err := binary.Read(r, binary.LittleEndian, &nDead); err != nil {
+	if err := cr.u64(&nDead); err != nil {
 		return nil, fmt.Errorf("%w: truncated tombstones", ErrBadSnapshot)
 	}
 	if nDead > uint64(set.Len()) {
 		return nil, fmt.Errorf("%w: %d tombstones over %d base trajectories", ErrBadSnapshot, nDead, set.Len())
 	}
+	deadIDs, err := cr.i32s(int(nDead))
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated tombstones", ErrBadSnapshot)
+	}
 	dead := make(map[trajectory.ID]struct{}, nDead)
-	for i := uint64(0); i < nDead; i++ {
-		var id uint32
-		if err := binary.Read(r, binary.LittleEndian, &id); err != nil {
-			return nil, fmt.Errorf("%w: truncated tombstones", ErrBadSnapshot)
-		}
-		dead[trajectory.ID(id)] = struct{}{}
+	for _, id := range deadIDs {
+		dead[trajectory.ID(uint32(id))] = struct{}{}
 	}
 	if uint64(len(dead)) != nDead {
 		return nil, fmt.Errorf("%w: duplicate tombstone ids", ErrBadSnapshot)
 	}
+	if err := cr.skip(i32Pad(nDead)); err != nil {
+		return nil, err
+	}
 	var nDelta uint64
-	if err := binary.Read(r, binary.LittleEndian, &nDelta); err != nil {
+	if err := cr.u64(&nDelta); err != nil {
 		return nil, fmt.Errorf("%w: truncated delta", ErrBadSnapshot)
 	}
 	if nDelta > maxTrajectories {
@@ -111,7 +119,7 @@ func readLivePayload(r io.Reader) (*query.Epoch, error) {
 	}
 	delta := make([]*trajectory.Trajectory, 0, minInt(int(nDelta), 1<<16))
 	for i := uint64(0); i < nDelta; i++ {
-		u, err := readTrajectory(r, i)
+		u, err := readFrozenTrajectoryRecord(cr, i)
 		if err != nil {
 			return nil, err
 		}
@@ -144,6 +152,12 @@ func writeLiveSnapshot(w io.Writer, eps []*query.Epoch, kind string) error {
 	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
 		return err
 	}
+	// Realign so every frame's payload starts 8-aligned in the file —
+	// the mapped reader aliases columns at file offsets. See
+	// snapshot_frozen.go.
+	if _, err := w.Write(make([]byte, pad8(uint64(len(kind))))); err != nil {
+		return err
+	}
 	for _, ep := range eps {
 		if err := binary.Write(w, binary.LittleEndian, livePayloadSize(ep)); err != nil {
 			return err
@@ -153,6 +167,9 @@ func writeLiveSnapshot(w io.Writer, eps []*query.Epoch, kind string) error {
 			return err
 		}
 		if err := binary.Write(w, binary.LittleEndian, fcrc.Sum32()); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{0, 0, 0, 0}); err != nil {
 			return err
 		}
 	}
@@ -219,6 +236,9 @@ func ReadLiveSnapshot(r io.Reader, pol LivePolicy) (*LiveShardedIndex, error) {
 	if gotHdr != wantHdr {
 		return nil, fmt.Errorf("%w: header checksum mismatch", ErrBadSnapshot)
 	}
+	if err := readZeroPad(base, pad8(uint64(kindLen))); err != nil {
+		return nil, err
+	}
 
 	const maxShards = 1 << 16
 	if nShards == 0 || nShards > maxShards {
@@ -246,6 +266,9 @@ func ReadLiveSnapshot(r io.Reader, pol LivePolicy) (*LiveShardedIndex, error) {
 		}
 		if gotFrame != wantFrame {
 			return nil, fmt.Errorf("%w: frame %d checksum mismatch", ErrBadSnapshot, s)
+		}
+		if err := readZeroPad(base, 4); err != nil {
+			return nil, fmt.Errorf("frame %d: %w", s, err)
 		}
 		eps = append(eps, ep)
 	}

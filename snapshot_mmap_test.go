@@ -1,0 +1,386 @@
+package trajcover
+
+// Mapped restore must be indistinguishable from the streaming readers:
+// bit-identical answers, byte-identical re-snapshots, and the same
+// loud-rejection contract for corrupt files — a truncated or flipped
+// mapped file errors at open, never SIGBUSes or serves wrong values.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/trajcover/trajcover/internal/mmap"
+)
+
+// writeTempSnapshot materializes a snapshot stream as a file for the
+// mapped open paths.
+func writeTempSnapshot(t testing.TB, name string, write func(w *os.File) error) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// queryOracle is the answer surface we compare across restore paths.
+type queryOracle interface {
+	Len() int
+	ServiceValues(facilities []*Facility, q Query, workers int) ([]float64, error)
+	TopK(facilities []*Facility, k int, q Query) ([]Ranked, error)
+}
+
+// assertMappedAnswers requires got to answer bit-identically to want
+// across scenarios, for both batch service values and top-k.
+func assertMappedAnswers(t *testing.T, name string, want, got queryOracle) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("%s: Len %d, want %d", name, got.Len(), want.Len())
+	}
+	ny := NewYorkCity()
+	routes := BusRoutes(ny, 12, 6, 2)
+	for _, sc := range []Scenario{Binary, PointCount, Length} {
+		q := Query{Scenario: sc, Psi: DefaultPsi}
+		wv, err := want.ServiceValues(routes, q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv, err := got.ServiceValues(routes, q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wv {
+			if math.Float64bits(wv[i]) != math.Float64bits(gv[i]) {
+				t.Fatalf("%s: scenario %v facility %d: value %v, want %v (bit-exact)", name, sc, i, gv[i], wv[i])
+			}
+		}
+		wr, err := want.TopK(routes, 4, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := got.TopK(routes, 4, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareRanked(t, sc, wr, gr)
+	}
+}
+
+// TestMappedFrozenMatchesHeap: OpenMappedFrozenSnapshot answers
+// bit-identically to ReadFrozenSnapshot of the same TQSNAP03 file, and
+// re-snapshotting the mapped restore reproduces the file byte for byte.
+func TestMappedFrozenMatchesHeap(t *testing.T) {
+	ny := NewYorkCity()
+	users := TaxiTrips(ny, 60, 41)
+	idx, err := NewIndex(users, IndexOptions{Ordering: ZOrdering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := idx.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTempSnapshot(t, "frozen.tqsnap", func(w *os.File) error { return fz.WriteSnapshot(w) })
+
+	mapped, err := OpenMappedFrozenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMappedAnswers(t, "TQSNAP03 mapped", fz, mapped)
+
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := mapped.WriteSnapshot(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, out.Bytes()) {
+		t.Fatalf("mapped re-snapshot differs (%d vs %d bytes)", len(out.Bytes()), len(orig))
+	}
+}
+
+// TestMappedFrozenShardedMatchesHeap: the sharded container, same
+// contract.
+func TestMappedFrozenShardedMatchesHeap(t *testing.T) {
+	ny := NewYorkCity()
+	users := TaxiTrips(ny, 60, 41)
+	sidx, err := NewShardedIndex(users, ShardOptions{Shards: 3, Index: IndexOptions{Ordering: ZOrdering}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfz, err := sidx.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeTempSnapshot(t, "frozen.tqshrd", func(w *os.File) error { return sfz.WriteSnapshot(w) })
+
+	mapped, err := OpenMappedFrozenShardedSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped.NumShards() != sfz.NumShards() {
+		t.Fatalf("NumShards = %d, want %d", mapped.NumShards(), sfz.NumShards())
+	}
+	assertMappedAnswers(t, "TQSHRD02 mapped", sfz, mapped)
+
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := mapped.WriteSnapshot(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, out.Bytes()) {
+		t.Fatalf("mapped re-snapshot differs (%d vs %d bytes)", len(out.Bytes()), len(orig))
+	}
+}
+
+// TestMappedLiveMatchesHeapAndStaysMutable: a mapped live restore
+// answers bit-identically to the streaming restore — and remains fully
+// writable: inserts, deletes, and compaction (which folds the mapped
+// base into a fresh heap base) all work on top of mapped columns.
+func TestMappedLiveMatchesHeapAndStaysMutable(t *testing.T) {
+	ny := NewYorkCity()
+	users := TaxiTrips(ny, 60, 41)
+	lv := churnedLiveIndex(t, users)
+	path := writeTempSnapshot(t, "live.tqlive", func(w *os.File) error { return lv.WriteSnapshot(w) })
+
+	heap, err := func() (*LiveShardedIndex, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return ReadLiveSnapshot(bytes.NewReader(data), LivePolicy{Manual: true})
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenMappedLiveSnapshot(path, LivePolicy{Manual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMappedAnswers(t, "TQLIVE01 mapped", heap, mapped)
+
+	// Mutate both restores identically; answers must stay identical.
+	extra := TaxiTrips(ny, 80, 97)[60:]
+	for _, u := range extra {
+		if err := heap.Insert(u); err != nil {
+			t.Fatal(err)
+		}
+		if err := mapped.Insert(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, u := range users[10:14] {
+		if ok, err := heap.Delete(u.ID); err != nil || !ok {
+			t.Fatalf("heap Delete(%d) = %v, %v", u.ID, ok, err)
+		}
+		if ok, err := mapped.Delete(u.ID); err != nil || !ok {
+			t.Fatalf("mapped Delete(%d) = %v, %v", u.ID, ok, err)
+		}
+	}
+	assertMappedAnswers(t, "TQLIVE01 mapped after churn", heap, mapped)
+
+	// Compaction rebuilds heap bases from mapped trajectories; answers
+	// must survive the fold.
+	if err := mapped.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	assertMappedAnswers(t, "TQLIVE01 mapped after compact", heap, mapped)
+}
+
+// mappedOpenFormats wires each mapped open path to a valid file image.
+func mappedOpenFormats(t testing.TB) []struct {
+	name string
+	data []byte
+	open func(path string) error
+} {
+	t.Helper()
+	ny := NewYorkCity()
+	users := TaxiTrips(ny, 30, 41)
+	idx, err := NewIndex(users, IndexOptions{Ordering: ZOrdering})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := idx.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sidx, err := NewShardedIndex(users, ShardOptions{Shards: 2, Index: IndexOptions{Ordering: ZOrdering}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfz, err := sidx.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := churnedLiveIndex(t, users)
+	var b1, b2, b3 bytes.Buffer
+	if err := fz.WriteSnapshot(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sfz.WriteSnapshot(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := lv.WriteSnapshot(&b3); err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name string
+		data []byte
+		open func(path string) error
+	}{
+		{"TQSNAP03", b1.Bytes(), func(p string) error { _, err := OpenMappedFrozenSnapshot(p); return err }},
+		{"TQSHRD02", b2.Bytes(), func(p string) error { _, err := OpenMappedFrozenShardedSnapshot(p); return err }},
+		{"TQLIVE01", b3.Bytes(), func(p string) error { _, err := OpenMappedLiveSnapshot(p, LivePolicy{}); return err }},
+	}
+}
+
+// openMappedNoPanic runs a mapped open and converts panics to errors;
+// the property is that corrupt mapped files fail loudly at open.
+func openMappedNoPanic(open func(string) error, path string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("PANIC: %v", r)
+		}
+	}()
+	return open(path)
+}
+
+// TestMappedSnapshotTruncation: every proper prefix of a valid snapshot
+// file is rejected by the mapped open with an error — never a panic and
+// never an out-of-bounds fault (every cursor read is length-checked).
+func TestMappedSnapshotTruncation(t *testing.T) {
+	dir := t.TempDir()
+	for _, f := range mappedOpenFormats(t) {
+		path := filepath.Join(dir, f.name)
+		step := 1
+		if len(f.data) > 2048 {
+			step = 7
+		}
+		for cut := 0; cut < len(f.data); cut += step {
+			if err := os.WriteFile(path, f.data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := openMappedNoPanic(f.open, path); err == nil {
+				t.Fatalf("%s: mapped open of %d/%d-byte truncation accepted", f.name, cut, len(f.data))
+			}
+		}
+	}
+}
+
+// TestMappedSnapshotBitFlip: flipping any single bit of a valid
+// snapshot file is rejected by the mapped open — the CRCs are verified
+// over the raw mapping before any column is trusted.
+func TestMappedSnapshotBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	for _, f := range mappedOpenFormats(t) {
+		path := filepath.Join(dir, f.name)
+		data := f.data
+		step := 1
+		if len(data) > 2048 {
+			step = 11
+		}
+		for i := 0; i < len(data); i += pick(i < 128 || i >= len(data)-8, 1, step) {
+			data[i] ^= 1 << (i % 8)
+			werr := os.WriteFile(path, data, 0o644)
+			data[i] ^= 1 << (i % 8)
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			if err := openMappedNoPanic(f.open, path); err == nil {
+				t.Fatalf("%s: mapped open with bit flip at byte %d/%d accepted", f.name, i, len(data))
+			}
+		}
+	}
+}
+
+// TestMappedOpenWrongFormat: each mapped open rejects the other
+// formats' magics with a pointed error instead of misparsing.
+func TestMappedOpenWrongFormat(t *testing.T) {
+	formats := mappedOpenFormats(t)
+	dir := t.TempDir()
+	for _, f := range formats {
+		for _, g := range formats {
+			if f.name == g.name {
+				continue
+			}
+			path := filepath.Join(dir, "cross")
+			if err := os.WriteFile(path, g.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.open(path); err == nil {
+				t.Fatalf("%s open accepted a %s file", f.name, g.name)
+			}
+		}
+	}
+}
+
+// TestMappedOpenMissingFile: opening a nonexistent path errors cleanly.
+func TestMappedOpenMissingFile(t *testing.T) {
+	if _, err := OpenMappedFrozenSnapshot(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+}
+
+// TestMappedZeroCopyMode documents which alias mode this build runs:
+// on little-endian builds the columns must alias the mapping (no copy).
+func TestMappedZeroCopyMode(t *testing.T) {
+	t.Logf("mmap zero-copy aliasing: %v", mmap.ZeroCopy())
+}
+
+// benchSnapshotPath builds a moderately sized frozen snapshot once per
+// benchmark run.
+func benchSnapshotPath(b *testing.B) string {
+	b.Helper()
+	ny := NewYorkCity()
+	users := TaxiTrips(ny, 20000, 47)
+	idx, err := NewIndex(users, IndexOptions{Ordering: ZOrdering})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fz, err := idx.Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return writeTempSnapshot(b, "bench.tqsnap", func(w *os.File) error { return fz.WriteSnapshot(w) })
+}
+
+func BenchmarkHeapRestore(b *testing.B) {
+	path := benchSnapshotPath(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadFrozenSnapshot(f); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func BenchmarkMappedOpen(b *testing.B) {
+	path := benchSnapshotPath(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenMappedFrozenSnapshot(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
