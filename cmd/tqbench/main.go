@@ -90,6 +90,11 @@ func main() {
 		Title: "extra — tqserve repeated-query throughput with the result cache off vs on (NYT, not in the paper)",
 		Run:   expRescache,
 	})
+	bench.RegisterExtra(bench.Experiment{
+		ID:    "dist",
+		Title: "extra — scatter-gather frontend over shard-group backends vs one process, with prune counters (NYT, not in the paper)",
+		Run:   expDist,
+	})
 
 	if *list {
 		for _, e := range bench.Registry() {

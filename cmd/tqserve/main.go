@@ -11,6 +11,8 @@
 //	tqserve -addr :8080 -synthetic 50000 -shards 4
 //	tqserve -addr :8080 -synthetic 50000 -wal-dir /var/lib/tqserve/wal
 //	tqserve -addr :8080 -tenant-root /var/lib/tqserve/tenants -overrides-file limits.yaml
+//	tqserve -addr :8081 -replica-of http://127.0.0.1:8080
+//	tqserve -addr :8090 -frontend -backends "http://a:8080|http://a:8081,http://b:8080"
 //
 // The index is either restored from a TQLIVE01 snapshot (-snapshot,
 // written by LiveIndex/LiveShardedIndex.WriteSnapshot or GET
@@ -37,6 +39,21 @@
 // and logs the parse error. -tenant-max-open caps concurrently open
 // tenant indexes (idle ones are checkpointed and evicted LRU).
 //
+// Distributed serving (see internal/dist and ARCHITECTURE.md
+// "Distributed serving"): a single-tenant tqserve is a replication
+// primary by default — acknowledged writes feed an in-memory
+// replication log (-repl-log-cap entries; 0 disables) that replicas
+// tail over GET /v1/changes. -replica-of turns the process into a
+// read-only replica of the primary at that base URL: it bootstraps
+// from the primary's GET /v1/snapshot, replays the tail, serves reads
+// from its own index (writes answer 403), and re-bootstraps by itself
+// when the primary restarts. -frontend (with -backends, a
+// comma-separated list of shard groups, each "primary|replica|...")
+// serves the same wire API by scatter-gathering over the groups:
+// writes forward to their owner group's primary, top-k runs the
+// distributed bound-merge, and ?partial=1 opts reads into partial
+// answers when groups are down.
+//
 // On SIGTERM the server stops admitting work (healthz flips to 503 so
 // load balancers drain), finishes in-flight requests up to
 // -drain-timeout, and exits 0. SIGHUP reloads the overrides file.
@@ -52,10 +69,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	trajcover "github.com/trajcover/trajcover"
+	"github.com/trajcover/trajcover/internal/dist"
+	"github.com/trajcover/trajcover/internal/replog"
 	"github.com/trajcover/trajcover/internal/server"
 	"github.com/trajcover/trajcover/internal/tenant"
 )
@@ -99,6 +119,11 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 		overridesPoll = fs.Duration("overrides-poll", 10*time.Second, "poll period for -overrides-file changes (0 = SIGHUP only)")
 		mmapSnapshot  = fs.Bool("mmap", false, "restore -snapshot by memory-mapping it (columns served from the page cache)")
 		resultCache   = fs.Int64("result-cache-bytes", 64<<20, "epoch-keyed result cache budget for topk/servicevalues (0 = disabled)")
+		replicaOf     = fs.String("replica-of", "", "run as a read-only replica of the primary tqserve at this base URL")
+		frontendOn    = fs.Bool("frontend", false, "run as a scatter-gather frontend over -backends (no local index)")
+		backends      = fs.String("backends", "", "frontend shard-group map: comma-separated groups, each 'primary|replica|...' base URLs")
+		replLogCap    = fs.Int("repl-log-cap", replog.DefaultCap, "replication log retention in entries on a single-tenant primary (0 = replication off)")
+		replPoll      = fs.Duration("repl-poll", time.Second, "replica long-poll window against the primary's /v1/changes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,8 +134,91 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 	if *tenantRoot != "" && *snapshot != "" {
 		return fmt.Errorf("-snapshot is single-tenant; with -tenant-root use -synthetic to seed the default tenant")
 	}
+	if *frontendOn && (*replicaOf != "" || *tenantRoot != "" || *walDir != "" || *snapshot != "" || *synthetic > 0) {
+		return fmt.Errorf("-frontend serves no local index: drop -replica-of/-tenant-root/-wal-dir/-snapshot/-synthetic")
+	}
+	if *backends != "" && !*frontendOn {
+		return fmt.Errorf("-backends requires -frontend")
+	}
+	if *replicaOf != "" && (*tenantRoot != "" || *walDir != "" || *snapshot != "" || *synthetic > 0) {
+		return fmt.Errorf("-replica-of bootstraps from the primary: drop -tenant-root/-wal-dir/-snapshot/-synthetic")
+	}
 
 	pol := trajcover.LivePolicy{MaxDelta: *maxDelta}
+
+	if *frontendOn {
+		if *backends == "" {
+			return fmt.Errorf("-frontend needs -backends")
+		}
+		groups, err := dist.ParseMap(*backends)
+		if err != nil {
+			return err
+		}
+		fe, err := dist.NewFrontend(dist.FrontendConfig{
+			Groups:         groups,
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+			MaxBodyBytes:   *maxBody,
+			Logf:           func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) },
+		})
+		if err != nil {
+			return err
+		}
+		defer fe.Close()
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "tqserve: frontend over %d shard group(s) on %s\n", len(groups), ln.Addr())
+		if ready != nil {
+			ready(ln.Addr().String())
+		}
+		err = serveLoop(newHTTPServer(fe.Handler()), ln, stdout, sig, nil, *drainTimeout, fe.BeginDrain)
+		fmt.Fprintln(stdout, "tqserve: drained, bye")
+		return err
+	}
+
+	if *replicaOf != "" {
+		primary := strings.TrimSuffix(*replicaOf, "/")
+		// The placeholder index never serves: ReplicaHandler answers 503
+		// to reads until the replica's first catch-up swaps the real one
+		// in. The result cache stays off — its keys carry the index's
+		// write version but not its identity, and SetIndex changes the
+		// identity.
+		empty, err := trajcover.NewLiveShardedIndex(nil, trajcover.LiveShardOptions{Policy: pol})
+		if err != nil {
+			return err
+		}
+		srv := server.New(empty, server.Config{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+			MaxBodyBytes:   *maxBody,
+		})
+		rep := dist.NewReplica(dist.ReplicaConfig{
+			Primary:  primary,
+			Policy:   pol,
+			PollWait: *replPoll,
+			OnSwap:   srv.SetIndex,
+			Logf:     func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) },
+		})
+		repCtx, repCancel := context.WithCancel(context.Background())
+		defer repCancel()
+		go rep.Run(repCtx)
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "tqserve: replica of %s on %s (syncing)\n", primary, ln.Addr())
+		if ready != nil {
+			ready(ln.Addr().String())
+		}
+		err = serveLoop(newHTTPServer(dist.ReplicaHandler(srv.Handler(), rep, time.Second)), ln, stdout, sig, nil, *drainTimeout, srv.BeginDrain)
+		srv.Close()
+		fmt.Fprintln(stdout, "tqserve: drained, bye")
+		return err
+	}
 	var srv *server.Server
 	if *tenantRoot != "" {
 		syncPol, perr := trajcover.ParseWALSyncPolicy(*walSync)
@@ -190,6 +298,13 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 			return err
 		}
 		defer idx.Close()
+		// Single-tenant servers are replication primaries by default:
+		// every acknowledged write also lands in this bounded in-memory
+		// log, which replicas tail over GET /v1/changes.
+		var rl *replog.Log
+		if *replLogCap > 0 {
+			rl = replog.New(*replLogCap)
+		}
 		srv = server.New(idx, server.Config{
 			Workers:          *workers,
 			QueueDepth:       *queue,
@@ -197,6 +312,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 			MaxTimeout:       *maxTimeout,
 			MaxBodyBytes:     *maxBody,
 			ResultCacheBytes: *resultCache,
+			ReplLog:          rl,
 		})
 	}
 
@@ -245,20 +361,34 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 		ready(ln.Addr().String())
 	}
 
-	hs := &http.Server{
-		Handler: srv.Handler(),
-		// Slow clients must not hold handler goroutines outside the
-		// admission/deadline machinery (which starts only once the body
-		// is read): bound the header, the whole request read, and idle
-		// keep-alives.
+	err = serveLoop(newHTTPServer(srv.Handler()), ln, stdout, sig, watcher, *drainTimeout, srv.BeginDrain)
+	srv.Close()
+	fmt.Fprintln(stdout, "tqserve: drained, bye")
+	return err
+}
+
+// newHTTPServer wraps a handler with the timeouts every tqserve mode
+// shares. Slow clients must not hold handler goroutines outside the
+// admission/deadline machinery (which starts only once the body is
+// read): bound the header, the whole request read, and idle
+// keep-alives.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+}
+
+// serveLoop runs hs on ln until the signal channel asks for a drain:
+// SIGHUP reloads the overrides watcher in place (when there is one),
+// anything else (or a closed channel) flips the server into drain mode
+// via beginDrain, shuts the HTTP layer down within drainTimeout, and
+// force-closes whatever outlives the grace period.
+func serveLoop(hs *http.Server, ln net.Listener, stdout io.Writer, sig <-chan os.Signal, watcher *tenant.Watcher, drainTimeout time.Duration, beginDrain func()) error {
 	drained := make(chan error, 1)
 	go func() {
-		// SIGHUP reloads the overrides file in place; anything else (or a
-		// closed channel) starts the drain.
 		for {
 			s, ok := <-sig
 			if ok && s == syscall.SIGHUP {
@@ -275,8 +405,8 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 			break
 		}
 		fmt.Fprintln(stdout, "tqserve: draining")
-		srv.BeginDrain()
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		beginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		err := hs.Shutdown(ctx)
 		if err != nil {
@@ -290,10 +420,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready func(addr 
 	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	err = <-drained
-	srv.Close()
-	fmt.Fprintln(stdout, "tqserve: drained, bye")
-	return err
+	return <-drained
 }
 
 func parsePartitioner(name string) (trajcover.Partitioner, error) {

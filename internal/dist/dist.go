@@ -1,0 +1,97 @@
+// Package dist is the multi-process serving tier over tqserve: shard
+// groups of replicated backend processes behind a scatter-gather
+// frontend, with the same exact-answer discipline as a single process.
+//
+// Topology. The corpus is partitioned across N shard groups by the
+// same FNV-1a hash the in-process partitioner uses (RouteID), so a
+// trajectory's owning group is a pure function of its ID. Each group
+// is one primary tqserve (the write owner, WAL-backed) plus any number
+// of replicas — read-only processes that bootstrap from the primary's
+// GET /v1/snapshot and then follow its replication log over GET
+// /v1/changes (see internal/replog). The frontend owns the group map:
+// it forwards each write to its owner group's primary, scatters reads
+// across the groups (any healthy member serves a read), and merges.
+//
+// Exactness across the wire. /v1/topk is NOT answered by merging
+// per-group top-k lists — that would be wrong (a global winner can be
+// mediocre in every group) and would do exact work for facilities the
+// bound search never needs. Instead the frontend runs the SAME
+// branch-and-bound merge as the in-process sharded index, one level
+// up: one cheap POST /v1/upperbounds per group seeds a
+// query.Exploration per (facility, group), and shard.MergeExplorations
+// schedules them by summed upper bound; relaxing a remote exploration
+// is one exact /v1/servicevalues RPC for that single facility. A
+// facility whose summed bounds cannot reach the top k is pruned
+// without any group ever computing its exact value — the paper's
+// shard-prune, preserved across process boundaries. Answers are
+// byte-identical to one process over the same corpus for integral
+// scenarios (Binary), and equal up to float summation order otherwise
+// — the same contract the in-process sharded merge documents.
+//
+// Degradation. Per-member health probes remove unresponsive backends
+// and readmit them when they recover; reads fail over among a group's
+// members mid-query. When an entire group is unreachable the default
+// answer is 503 with Retry-After (the frontend never silently narrows
+// the corpus); a client that opts in with ?partial=1 instead gets 200
+// over the surviving groups plus a partial flag naming the missing
+// ones.
+package dist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Group is one shard group: member base URLs, Members[0] the primary
+// (the write owner and the replicas' bootstrap source).
+type Group struct {
+	Members []string
+}
+
+// ParseMap parses a backend map flag: comma-separated shard groups,
+// each a |-separated list of member base URLs with the primary first.
+//
+//	http://a:8001|http://a:8002,http://b:8001
+//
+// is two shard groups, the first with one replica.
+func ParseMap(s string) ([]Group, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("dist: empty backend map")
+	}
+	var groups []Group
+	for gi, part := range strings.Split(s, ",") {
+		var g Group
+		for _, m := range strings.Split(part, "|") {
+			m = strings.TrimSuffix(strings.TrimSpace(m), "/")
+			if m == "" {
+				return nil, fmt.Errorf("dist: group %d has an empty member", gi)
+			}
+			if !strings.HasPrefix(m, "http://") && !strings.HasPrefix(m, "https://") {
+				return nil, fmt.Errorf("dist: member %q: want an http(s):// base URL", m)
+			}
+			g.Members = append(g.Members, m)
+		}
+		if len(g.Members) == 0 {
+			return nil, fmt.Errorf("dist: group %d is empty", gi)
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// RouteID maps a trajectory ID to its owning shard group — the same
+// FNV-1a over the ID's four little-endian bytes as the in-process hash
+// partitioner (shard.Hash), so a corpus split across groups by RouteID
+// partitions exactly like one process's hash-sharded index.
+func RouteID(id uint32, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < 4; i++ {
+		h ^= id >> (8 * i) & 0xff
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}

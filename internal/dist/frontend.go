@@ -1,0 +1,755 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	trajcover "github.com/trajcover/trajcover"
+	"github.com/trajcover/trajcover/internal/server"
+	"github.com/trajcover/trajcover/internal/shard"
+)
+
+// FrontendConfig tunes the scatter-gather frontend. The zero value
+// probes every 250ms, gives each backend RPC 2s, serves requests under
+// a 2s default deadline capped at 30s, and hints 1s retries.
+type FrontendConfig struct {
+	// Groups is the shard-group map (ParseMap); at least one group.
+	Groups []Group
+	// RPCTimeout bounds one backend call (<= 0: 2s).
+	RPCTimeout time.Duration
+	// DefaultTimeout is the per-request deadline when the request names
+	// none (<= 0: 2s); MaxTimeout caps timeout_ms (<= 0: 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// ProbeInterval is the health-probe period (<= 0: 250ms).
+	ProbeInterval time.Duration
+	// MaxBodyBytes caps request bodies (<= 0: 8 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the Retry-After hint on transient rejections
+	// (<= 0: 1s).
+	RetryAfter time.Duration
+	// Client is the backend HTTP client (nil: http.DefaultTransport).
+	Client *http.Client
+	// Logf, when non-nil, receives operational events (member removal
+	// and readmission).
+	Logf func(format string, args ...any)
+}
+
+func (c FrontendConfig) withDefaults() FrontendConfig {
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// feMember is one backend process. healthy is the probe's verdict,
+// flipped false eagerly by any failed RPC (removal) and true again
+// only by a successful probe (readmission).
+type feMember struct {
+	url     string
+	healthy atomic.Bool
+}
+
+// feGroup is one shard group's members; members[0] is the primary.
+type feGroup struct {
+	id      int
+	members []*feMember
+	rr      atomic.Uint32 // read round-robin cursor
+}
+
+// Frontend owns the shard-group map and serves the tqserve wire API by
+// scattering over the groups. Construct with NewFrontend, serve
+// Handler, stop with Close.
+type Frontend struct {
+	cfg        FrontendConfig
+	groups     []*feGroup
+	mux        *http.ServeMux
+	retryAfter string
+	draining   atomic.Bool
+	start      time.Time
+	probeStop  chan struct{}
+	probeDone  chan struct{}
+	closeOnce  sync.Once
+
+	requests  atomic.Uint64
+	errs      atomic.Uint64
+	partials  atomic.Uint64
+	failovers atomic.Uint64
+	boundRPCs atomic.Uint64
+	exactRPCs atomic.Uint64
+	pruned    atomic.Uint64 // facilities answered without an exact RPC
+}
+
+// NewFrontend builds a frontend over the group map and starts its
+// health-probe loop. Members start healthy (optimistic: the first
+// failed RPC or probe removes them).
+func NewFrontend(cfg FrontendConfig) (*Frontend, error) {
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("dist: frontend needs at least one shard group")
+	}
+	cfg = cfg.withDefaults()
+	fe := &Frontend{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		retryAfter: strconv.Itoa(int((cfg.RetryAfter + time.Second - 1) / time.Second)),
+		start:      time.Now(),
+		probeStop:  make(chan struct{}),
+		probeDone:  make(chan struct{}),
+	}
+	for gi, g := range cfg.Groups {
+		if len(g.Members) == 0 {
+			return nil, fmt.Errorf("dist: group %d is empty", gi)
+		}
+		fg := &feGroup{id: gi}
+		for _, m := range g.Members {
+			fm := &feMember{url: m}
+			fm.healthy.Store(true)
+			fg.members = append(fg.members, fm)
+		}
+		fe.groups = append(fe.groups, fg)
+	}
+	fe.mux.HandleFunc(server.PathTopK, fe.requirePost(fe.handleTopK))
+	fe.mux.HandleFunc(server.PathServiceValues, fe.requirePost(fe.handleServiceValues))
+	fe.mux.HandleFunc(server.PathInsert, fe.requirePost(func(w http.ResponseWriter, r *http.Request) {
+		fe.handleWrite(w, r, server.PathInsert)
+	}))
+	fe.mux.HandleFunc(server.PathDelete, fe.requirePost(func(w http.ResponseWriter, r *http.Request) {
+		fe.handleWrite(w, r, server.PathDelete)
+	}))
+	fe.mux.HandleFunc(server.PathHealth, fe.handleHealth)
+	fe.mux.HandleFunc(server.PathStats, fe.handleStats)
+	go fe.probeLoop()
+	return fe, nil
+}
+
+// Handler returns the HTTP handler serving the frontend API.
+func (fe *Frontend) Handler() http.Handler { return fe.mux }
+
+// BeginDrain flips the frontend into draining: /healthz answers 503 and
+// new work is rejected with 503 + Retry-After. Idempotent.
+func (fe *Frontend) BeginDrain() { fe.draining.Store(true) }
+
+// Close stops the health-probe loop. Idempotent.
+func (fe *Frontend) Close() {
+	fe.closeOnce.Do(func() { close(fe.probeStop) })
+	<-fe.probeDone
+}
+
+func (fe *Frontend) logf(format string, args ...any) {
+	if fe.cfg.Logf != nil {
+		fe.cfg.Logf(format, args...)
+	}
+}
+
+// probeLoop polls every member's /healthz. Any 200 — "ok" or
+// "degraded" — readmits: a degraded backend still serves reads, and
+// writes answer their own 503s. Non-200 or transport failure removes.
+func (fe *Frontend) probeLoop() {
+	defer close(fe.probeDone)
+	tick := time.NewTicker(fe.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-fe.probeStop:
+			return
+		case <-tick.C:
+		}
+		for _, g := range fe.groups {
+			for _, m := range g.members {
+				up := fe.probe(m)
+				if was := m.healthy.Swap(up); was != up {
+					if up {
+						fe.logf("dist: readmitted %s (group %d)", m.url, g.id)
+					} else {
+						fe.logf("dist: removed %s (group %d)", m.url, g.id)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (fe *Frontend) probe(m *feMember) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), fe.cfg.RPCTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.url+server.PathHealth, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := fe.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// permanentError is a backend 4xx: the request itself is at fault, so
+// failing over to another member would only repeat it. Relayed as-is.
+type permanentError struct {
+	status int
+	body   []byte
+}
+
+func (e *permanentError) Error() string { return fmt.Sprintf("backend %d: %s", e.status, e.body) }
+
+// groupError means every member of one shard group failed a read.
+type groupError struct {
+	group int
+	err   error
+}
+
+func (e *groupError) Error() string {
+	return fmt.Sprintf("shard group %d unavailable: %v", e.group, e.err)
+}
+func (e *groupError) Unwrap() error { return e.err }
+
+// post runs one backend RPC under the per-call timeout and decodes a
+// 200 body into out. Non-200 becomes a permanentError (4xx except 429)
+// or a transient error (everything else).
+func (fe *Frontend) post(ctx context.Context, m *feMember, path string, body []byte, out any) error {
+	rctx, cancel := context.WithTimeout(ctx, fe.cfg.RPCTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, m.url+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := fe.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			return &permanentError{status: resp.StatusCode, body: data}
+		}
+		return fmt.Errorf("%s %s: %s", m.url, resp.Status, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("%s: bad response body: %v", m.url, err)
+	}
+	return nil
+}
+
+// readGroup posts a read to some member of g, failing over across the
+// group: healthy members first in round-robin order, then — in case
+// the probe's verdicts are stale — the rest. A member that fails is
+// removed on the spot; a 4xx aborts the failover (the request is at
+// fault). When every member fails the caller gets a groupError wrapping
+// the first failure.
+func (fe *Frontend) readGroup(ctx context.Context, g *feGroup, path string, body []byte, out any) error {
+	n := len(g.members)
+	start := int(g.rr.Add(1)) % n
+	tried := make([]bool, n)
+	var firstErr error
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			mi := (start + i) % n
+			m := g.members[mi]
+			if tried[mi] || (pass == 0 && !m.healthy.Load()) {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return &groupError{group: g.id, err: firstErr}
+			}
+			tried[mi] = true
+			err := fe.post(ctx, m, path, body, out)
+			if err == nil {
+				return nil
+			}
+			var perm *permanentError
+			if errors.As(err, &perm) {
+				return err
+			}
+			m.healthy.Store(false)
+			fe.failovers.Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("no members")
+	}
+	return &groupError{group: g.id, err: firstErr}
+}
+
+func (fe *Frontend) requirePost(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed, server.ErrorResponse{Error: "use POST"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// admit gates a handler on drain state and reads the capped body; a
+// false return means admit already answered.
+func (fe *Frontend) admit(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	fe.requests.Add(1)
+	if fe.draining.Load() {
+		fe.errs.Add(1)
+		fe.rejectRetryable(w, http.StatusServiceUnavailable, "frontend draining")
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, fe.cfg.MaxBodyBytes))
+	if err != nil {
+		fe.errs.Add(1)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, server.ErrorResponse{Error: err.Error()})
+		return nil, false
+	}
+	return body, true
+}
+
+func (fe *Frontend) rejectRetryable(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Retry-After", fe.retryAfter)
+	writeJSON(w, status, server.ErrorResponse{Error: msg})
+}
+
+func (fe *Frontend) requestTimeout(timeoutMS int64) time.Duration {
+	d := fe.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > fe.cfg.MaxTimeout {
+			d = fe.cfg.MaxTimeout
+		}
+	}
+	return d
+}
+
+// failRead answers a failed scatter/merge: an expired request deadline
+// is 504 (mirroring the backends' errResponse contract), anything else
+// is a transient 503 with Retry-After — the group map has no healthy
+// owner for part of the corpus right now.
+func (fe *Frontend) failRead(w http.ResponseWriter, ctx context.Context, err error) {
+	fe.errs.Add(1)
+	var perm *permanentError
+	if errors.As(err, &perm) {
+		// Relay the backend's own verdict on the request.
+		writeRaw(w, perm.status, perm.body)
+		return
+	}
+	// 504 only on genuine deadline expiry. A scatter that died mid-merge
+	// cancels its own context (sc.fail), and that self-inflicted
+	// cancellation is a transient backend failure, not a timeout — it
+	// must fall through to 503 + Retry-After so clients retry.
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) || errors.Is(err, context.DeadlineExceeded) {
+		writeJSON(w, http.StatusGatewayTimeout, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	fe.rejectRetryable(w, http.StatusServiceUnavailable, err.Error())
+}
+
+// PartialTopKResponse is the /v1/topk?partial=1 body when shard groups
+// were missing: the exact top k over the surviving groups' corpus,
+// plus the flag and the missing group indexes. With no groups missing
+// the plain TopKResponse is served byte-identically to a backend's.
+type PartialTopKResponse struct {
+	Results       []server.RankedJSON `json:"results"`
+	Partial       bool                `json:"partial"`
+	MissingGroups []int               `json:"missing_groups"`
+}
+
+// PartialValuesResponse is the /v1/servicevalues?partial=1 counterpart.
+type PartialValuesResponse struct {
+	Values        []float64 `json:"values"`
+	Partial       bool      `json:"partial"`
+	MissingGroups []int     `json:"missing_groups"`
+}
+
+// scatterBounds runs the upper-bound scatter: one /v1/upperbounds RPC
+// per group over the full facility list. It returns per-group bounds
+// (nil for failed groups), the missing group indexes, and the first
+// failure.
+func (fe *Frontend) scatterBounds(ctx context.Context, body []byte, nFacs int) (bounds [][]float64, missing []int, firstErr error) {
+	bounds = make([][]float64, len(fe.groups))
+	gerrs := make([]error, len(fe.groups))
+	var wg sync.WaitGroup
+	for gi, g := range fe.groups {
+		wg.Add(1)
+		go func(gi int, g *feGroup) {
+			defer wg.Done()
+			fe.boundRPCs.Add(1)
+			var resp server.BoundsResponse
+			err := fe.readGroup(ctx, g, server.PathUpperBounds, body, &resp)
+			if err == nil && len(resp.Bounds) != nFacs {
+				err = fmt.Errorf("group %d answered %d bounds for %d facilities", gi, len(resp.Bounds), nFacs)
+			}
+			if err != nil {
+				gerrs[gi] = err
+				return
+			}
+			bounds[gi] = resp.Bounds
+		}(gi, g)
+	}
+	wg.Wait()
+	for gi, err := range gerrs {
+		if err != nil {
+			missing = append(missing, gi)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return bounds, missing, firstErr
+}
+
+func (fe *Frontend) handleTopK(w http.ResponseWriter, r *http.Request) {
+	body, ok := fe.admit(w, r)
+	if !ok {
+		return
+	}
+	req, facs, _, err := server.DecodeQueryRequest(body, true)
+	if err != nil {
+		fe.errs.Add(1)
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	partial := r.URL.Query().Get("partial") == "1"
+	ctx, cancel := context.WithTimeout(r.Context(), fe.requestTimeout(req.TimeoutMS))
+	defer cancel()
+
+	sc := newScatter(fe, ctx, cancel, req, facs)
+	bounds, missing, scErr := fe.scatterBounds(ctx, sc.allFacsBody(), len(facs))
+	if scErr != nil && (!partial || len(missing) == len(fe.groups)) {
+		fe.failRead(w, ctx, scErr)
+		return
+	}
+
+	exps := sc.explorations(bounds)
+	res, err := shard.MergeExplorations(ctx, facs, exps, req.K, req.Workers, nil)
+	if rpcErr := sc.err(); rpcErr != nil {
+		// A group answered its bounds, then lost every member before an
+		// exact RPC landed. The merged state is unusable even in partial
+		// mode — the client retries against the new group health.
+		fe.failRead(w, ctx, rpcErr)
+		return
+	}
+	if err != nil {
+		fe.failRead(w, ctx, err)
+		return
+	}
+	for _, row := range exps {
+		paid := false
+		for _, e := range row {
+			if re, ok := e.(*remoteExploration); ok && re.paid {
+				paid = true
+				break
+			}
+		}
+		if !paid {
+			fe.pruned.Add(1)
+		}
+	}
+	if len(missing) > 0 {
+		fe.partials.Add(1)
+		writeJSON(w, http.StatusOK, PartialTopKResponse{Results: toRankedJSON(res), Partial: true, MissingGroups: missing})
+		return
+	}
+	writeRaw(w, http.StatusOK, server.MarshalTopKResponse(res))
+}
+
+func (fe *Frontend) handleServiceValues(w http.ResponseWriter, r *http.Request) {
+	body, ok := fe.admit(w, r)
+	if !ok {
+		return
+	}
+	req, facs, _, err := server.DecodeQueryRequest(body, false)
+	if err != nil {
+		fe.errs.Add(1)
+		writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	partial := r.URL.Query().Get("partial") == "1"
+	ctx, cancel := context.WithTimeout(r.Context(), fe.requestTimeout(req.TimeoutMS))
+	defer cancel()
+
+	// Scatter the whole batch to every group; the total service value
+	// of a facility is the sum of its per-group values (the groups
+	// partition the corpus). Sums run in group order — deterministic,
+	// and exact (hence byte-identical to one process) for integral
+	// scenarios.
+	fwd := marshalQuery(req, req.Facilities)
+	values := make([][]float64, len(fe.groups))
+	gerrs := make([]error, len(fe.groups))
+	var wg sync.WaitGroup
+	for gi, g := range fe.groups {
+		wg.Add(1)
+		go func(gi int, g *feGroup) {
+			defer wg.Done()
+			var resp server.ValuesResponse
+			err := fe.readGroup(ctx, g, server.PathServiceValues, fwd, &resp)
+			if err == nil && len(resp.Values) != len(facs) {
+				err = fmt.Errorf("group %d answered %d values for %d facilities", gi, len(resp.Values), len(facs))
+			}
+			if err != nil {
+				gerrs[gi] = err
+				return
+			}
+			values[gi] = resp.Values
+		}(gi, g)
+	}
+	wg.Wait()
+	var missing []int
+	var scErr error
+	for gi, err := range gerrs {
+		if err != nil {
+			missing = append(missing, gi)
+			if scErr == nil {
+				scErr = err
+			}
+		}
+	}
+	if scErr != nil && (!partial || len(missing) == len(fe.groups)) {
+		fe.failRead(w, ctx, scErr)
+		return
+	}
+	sums := make([]float64, len(facs))
+	for _, vs := range values {
+		if vs == nil {
+			continue
+		}
+		for i, v := range vs {
+			sums[i] += v
+		}
+	}
+	if len(missing) > 0 {
+		fe.partials.Add(1)
+		writeJSON(w, http.StatusOK, PartialValuesResponse{Values: sums, Partial: true, MissingGroups: missing})
+		return
+	}
+	writeRaw(w, http.StatusOK, server.MarshalValuesResponse(sums))
+}
+
+// handleWrite forwards an insert/delete to its owner group's primary —
+// never a replica — and relays the primary's verdict verbatim (status,
+// body, and Retry-After, so the backends' degraded-mode contract
+// passes through). An unreachable primary is a transient 503: replicas
+// cannot accept the write, and the client retries after the hint.
+func (fe *Frontend) handleWrite(w http.ResponseWriter, r *http.Request, path string) {
+	body, ok := fe.admit(w, r)
+	if !ok {
+		return
+	}
+	var id uint32
+	var timeoutMS int64
+	if path == server.PathInsert {
+		req, _, err := server.DecodeInsertRequest(body)
+		if err != nil {
+			fe.errs.Add(1)
+			writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+			return
+		}
+		id, timeoutMS = req.ID, req.TimeoutMS
+	} else {
+		req, err := server.DecodeDeleteRequest(body)
+		if err != nil {
+			fe.errs.Add(1)
+			writeJSON(w, http.StatusBadRequest, server.ErrorResponse{Error: err.Error()})
+			return
+		}
+		id, timeoutMS = req.ID, req.TimeoutMS
+	}
+	g := fe.groups[RouteID(id, len(fe.groups))]
+	primary := g.members[0]
+
+	ctx, cancel := context.WithTimeout(r.Context(), fe.requestTimeout(timeoutMS))
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, primary.url+path, bytes.NewReader(body))
+	if err != nil {
+		fe.errs.Add(1)
+		writeJSON(w, http.StatusInternalServerError, server.ErrorResponse{Error: err.Error()})
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := fe.cfg.Client.Do(req)
+	if err != nil {
+		fe.errs.Add(1)
+		primary.healthy.Store(false)
+		if ctx.Err() != nil {
+			writeJSON(w, http.StatusGatewayTimeout, server.ErrorResponse{Error: ctx.Err().Error()})
+			return
+		}
+		fe.rejectRetryable(w, http.StatusServiceUnavailable, fmt.Sprintf("shard group %d primary unavailable: %v", g.id, err))
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		fe.errs.Add(1)
+		fe.rejectRetryable(w, http.StatusServiceUnavailable, fmt.Sprintf("shard group %d primary: %v", g.id, err))
+		return
+	}
+	if resp.StatusCode >= 400 {
+		fe.errs.Add(1)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	writeRaw(w, resp.StatusCode, data)
+}
+
+// GroupHealth is one shard group's view in /healthz and /statsz.
+type GroupHealth struct {
+	Primary string         `json:"primary"`
+	Healthy int            `json:"healthy"`
+	Members []MemberHealth `json:"members"`
+}
+
+// MemberHealth is one backend's probe verdict.
+type MemberHealth struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Primary bool   `json:"primary"`
+}
+
+// FrontendHealth is the frontend's /healthz document.
+type FrontendHealth struct {
+	Status string        `json:"status"`
+	Groups []GroupHealth `json:"groups"`
+}
+
+func (fe *Frontend) groupHealth() ([]GroupHealth, bool) {
+	all := true
+	out := make([]GroupHealth, len(fe.groups))
+	for gi, g := range fe.groups {
+		gh := GroupHealth{Primary: g.members[0].url}
+		for mi, m := range g.members {
+			up := m.healthy.Load()
+			if up {
+				gh.Healthy++
+			} else {
+				all = false
+			}
+			gh.Members = append(gh.Members, MemberHealth{URL: m.url, Healthy: up, Primary: mi == 0})
+		}
+		out[gi] = gh
+	}
+	return out, all
+}
+
+func (fe *Frontend) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if fe.draining.Load() {
+		w.Header().Set("Retry-After", fe.retryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, FrontendHealth{Status: "draining"})
+		return
+	}
+	groups, all := fe.groupHealth()
+	status := "ok"
+	if !all {
+		// Degraded, not down: reads fail over within groups and writes
+		// answer their own errors, so the frontend keeps serving.
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, FrontendHealth{Status: status, Groups: groups})
+}
+
+// FrontendStats is the frontend's /statsz document.
+type FrontendStats struct {
+	UptimeSeconds    float64       `json:"uptime_seconds"`
+	Groups           []GroupHealth `json:"groups"`
+	Requests         uint64        `json:"requests"`
+	Errors           uint64        `json:"errors"`
+	PartialResponses uint64        `json:"partial_responses"`
+	Failovers        uint64        `json:"failovers"`
+	BoundRPCs        uint64        `json:"bound_rpcs"`
+	ExactRPCs        uint64        `json:"exact_rpcs"`
+	PrunedFacilities uint64        `json:"pruned_facilities"`
+}
+
+// Stats snapshots the frontend counters — the /statsz document.
+func (fe *Frontend) Stats() FrontendStats {
+	groups, _ := fe.groupHealth()
+	return FrontendStats{
+		UptimeSeconds:    time.Since(fe.start).Seconds(),
+		Groups:           groups,
+		Requests:         fe.requests.Load(),
+		Errors:           fe.errs.Load(),
+		PartialResponses: fe.partials.Load(),
+		Failovers:        fe.failovers.Load(),
+		BoundRPCs:        fe.boundRPCs.Load(),
+		ExactRPCs:        fe.exactRPCs.Load(),
+		PrunedFacilities: fe.pruned.Load(),
+	}
+}
+
+func (fe *Frontend) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, fe.Stats())
+}
+
+func toRankedJSON(res []trajcover.Ranked) []server.RankedJSON {
+	out := make([]server.RankedJSON, len(res))
+	for i, r := range res {
+		out[i] = server.RankedJSON{ID: uint32(r.Facility.ID), Service: r.Service}
+	}
+	return out
+}
+
+// marshalQuery rebuilds a backend query body from the decoded request
+// with the given facility subset: scenario, ψ, and workers pass
+// through; k and tenant do not (backends answer per-group exact work,
+// and the tier is single-tenant).
+func marshalQuery(req *server.QueryRequest, facs []server.FacilityJSON) []byte {
+	b, err := json.Marshal(server.QueryRequest{Facilities: facs, Scenario: req.Scenario, Psi: req.Psi, Workers: req.Workers})
+	if err != nil {
+		panic(fmt.Sprintf("dist: marshal query: %v", err))
+	}
+	return b
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("dist: marshal response: %v", err))
+	}
+	writeRaw(w, status, b)
+}

@@ -1,0 +1,817 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	trajcover "github.com/trajcover/trajcover"
+	"github.com/trajcover/trajcover/internal/server"
+	"github.com/trajcover/trajcover/internal/shard"
+)
+
+var testBounds = trajcover.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func testUsers(n int, seed int64) []*trajcover.Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*trajcover.Trajectory, n)
+	for i := range out {
+		ax, ay := rng.Float64()*1000, rng.Float64()*1000
+		pts := []trajcover.Point{
+			trajcover.Pt(clampF(ax+rng.NormFloat64()*80, 0, 1000), clampF(ay+rng.NormFloat64()*80, 0, 1000)),
+			trajcover.Pt(clampF(ax+rng.NormFloat64()*80, 0, 1000), clampF(ay+rng.NormFloat64()*80, 0, 1000)),
+		}
+		u, err := trajcover.NewTrajectory(trajcover.ID(i), pts)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = u
+	}
+	return out
+}
+
+func testFacilities(n, stops int, seed int64) []*trajcover.Facility {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*trajcover.Facility, n)
+	for i := range out {
+		ax, ay := rng.Float64()*1000, rng.Float64()*1000
+		dx, dy := rng.NormFloat64(), rng.NormFloat64()
+		pts := make([]trajcover.Point, stops)
+		for j := range pts {
+			pts[j] = trajcover.Pt(
+				clampF(ax+float64(j)*20*dx+rng.NormFloat64()*10, 0, 1000),
+				clampF(ay+float64(j)*20*dy+rng.NormFloat64()*10, 0, 1000),
+			)
+		}
+		f, err := trajcover.NewFacility(trajcover.ID(10_000+i), pts)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+func facilityJSONOf(fs []*trajcover.Facility) []server.FacilityJSON {
+	out := make([]server.FacilityJSON, len(fs))
+	for i, f := range fs {
+		stops := make([][2]float64, len(f.Stops))
+		for j, st := range f.Stops {
+			stops[j] = [2]float64{st.X, st.Y}
+		}
+		out[i] = server.FacilityJSON{ID: uint32(f.ID), Stops: stops}
+	}
+	return out
+}
+
+func liveOpts() trajcover.LiveShardOptions {
+	return trajcover.LiveShardOptions{
+		Shards:      2,
+		Partitioner: trajcover.HashPartitioner(),
+		Index:       trajcover.IndexOptions{Ordering: trajcover.ZOrdering, Beta: 8, Bounds: testBounds},
+		Policy:      trajcover.LivePolicy{Manual: true},
+	}
+}
+
+func mustBody(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// partitionUsers splits the corpus by RouteID — the same owner map the
+// frontend forwards writes with.
+func partitionUsers(users []*trajcover.Trajectory, nGroups int) [][]*trajcover.Trajectory {
+	out := make([][]*trajcover.Trajectory, nGroups)
+	for _, u := range users {
+		g := RouteID(uint32(u.ID), nGroups)
+		out[g] = append(out[g], u)
+	}
+	return out
+}
+
+// distEnv is a full in-process tier: nGroups backend tqserve cores each
+// owning a RouteID slice of the corpus, a frontend over them, and one
+// single-process reference server over the whole corpus.
+type distEnv struct {
+	t        *testing.T
+	fe       *Frontend
+	fets     *httptest.Server
+	backends []*httptest.Server
+	srvs     []*server.Server
+	ref      *server.Server
+	refTS    *httptest.Server
+	client   *http.Client
+}
+
+func newDistEnv(t *testing.T, users []*trajcover.Trajectory, nGroups int, feCfg FrontendConfig) *distEnv {
+	t.Helper()
+	e := &distEnv{t: t}
+	parts := partitionUsers(users, nGroups)
+	var groups []Group
+	for g := 0; g < nGroups; g++ {
+		idx, err := trajcover.NewLiveShardedIndex(parts[g], liveOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(idx, server.Config{Workers: 2, QueueDepth: 16, DefaultTimeout: 30 * time.Second})
+		ts := httptest.NewServer(srv.Handler())
+		e.srvs = append(e.srvs, srv)
+		e.backends = append(e.backends, ts)
+		groups = append(groups, Group{Members: []string{ts.URL}})
+	}
+	refIdx, err := trajcover.NewLiveShardedIndex(users, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ref = server.New(refIdx, server.Config{Workers: 2, QueueDepth: 16, DefaultTimeout: 30 * time.Second})
+	e.refTS = httptest.NewServer(e.ref.Handler())
+
+	feCfg.Groups = groups
+	fe, err := NewFrontend(feCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.fe = fe
+	e.fets = httptest.NewServer(fe.Handler())
+	e.client = e.fets.Client()
+	t.Cleanup(func() {
+		e.fets.Close()
+		fe.Close()
+		e.refTS.Close()
+		e.ref.Close()
+		for i, ts := range e.backends {
+			ts.Close()
+			e.srvs[i].Close()
+		}
+	})
+	return e
+}
+
+func postTo(t *testing.T, client *http.Client, url string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+func (e *distEnv) post(path string, body []byte) (int, []byte, http.Header) {
+	e.t.Helper()
+	return postTo(e.t, e.client, e.fets.URL+path, body)
+}
+
+// TestFrontendByteIdentity is the distributed-exactness property: with
+// every group healthy, topk and servicevalues through the frontend are
+// byte-identical to the same requests against one process holding the
+// whole corpus — across k, worker counts, and a write history flowing
+// through the frontend's owner-routing.
+func TestFrontendByteIdentity(t *testing.T) {
+	users := testUsers(500, 301)
+	e := newDistEnv(t, users[:400], 2, FrontendConfig{DefaultTimeout: 30 * time.Second})
+	facs := testFacilities(14, 7, 302)
+	fjs := facilityJSONOf(facs)
+
+	check := func(stage string, k, workers int) {
+		t.Helper()
+		body := mustBody(t, server.QueryRequest{Facilities: fjs, K: k, Psi: 40, Workers: workers})
+		st, got, _ := e.post(server.PathTopK, body)
+		if st != http.StatusOK {
+			t.Fatalf("%s: frontend topk %d: %s", stage, st, got)
+		}
+		st, want, _ := postTo(t, e.refTS.Client(), e.refTS.URL+server.PathTopK, body)
+		if st != http.StatusOK {
+			t.Fatalf("%s: reference topk %d", stage, st)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: distributed topk differs from single process\n got: %s\nwant: %s", stage, got, want)
+		}
+
+		svBody := mustBody(t, server.QueryRequest{Facilities: fjs, Psi: 40, Workers: workers})
+		st, got, _ = e.post(server.PathServiceValues, svBody)
+		if st != http.StatusOK {
+			t.Fatalf("%s: frontend servicevalues %d: %s", stage, st, got)
+		}
+		st, want, _ = postTo(t, e.refTS.Client(), e.refTS.URL+server.PathServiceValues, svBody)
+		if st != http.StatusOK {
+			t.Fatalf("%s: reference servicevalues %d", stage, st)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: distributed servicevalues differs from single process\n got: %s\nwant: %s", stage, got, want)
+		}
+	}
+
+	check("initial k=5", 5, 0)
+	check("initial k=1", 1, 2)
+	check("initial k=14", 14, 3)
+
+	// Writes through the frontend land on their owner group AND on the
+	// reference; answers must stay identical.
+	alive := map[uint32]bool{}
+	for _, u := range users[:400] {
+		alive[uint32(u.ID)] = true
+	}
+	for i, u := range users[400:450] {
+		pts := make([][2]float64, len(u.Points))
+		for j, p := range u.Points {
+			pts[j] = [2]float64{p.X, p.Y}
+		}
+		b := mustBody(t, server.InsertRequest{ID: uint32(u.ID), Points: pts})
+		if st, body, _ := e.post(server.PathInsert, b); st != http.StatusOK {
+			t.Fatalf("insert %d: %d %s", u.ID, st, body)
+		}
+		if st, _, _ := postTo(t, e.refTS.Client(), e.refTS.URL+server.PathInsert, b); st != http.StatusOK {
+			t.Fatal("reference insert failed")
+		}
+		alive[uint32(u.ID)] = true
+		if i%3 == 0 {
+			id := uint32(i * 7)
+			del := mustBody(t, server.DeleteRequest{ID: id})
+			st, body, _ := e.post(server.PathDelete, del)
+			if st != http.StatusOK {
+				t.Fatalf("delete: %d %s", st, body)
+			}
+			st2, body2, _ := postTo(t, e.refTS.Client(), e.refTS.URL+server.PathDelete, del)
+			if st2 != http.StatusOK || !bytes.Equal(body, body2) {
+				t.Fatalf("delete verdicts diverge: %s vs %s", body, body2)
+			}
+			delete(alive, id)
+		}
+	}
+	check("after writes", 6, 0)
+
+	// Owner routing: each backend holds exactly its RouteID slice of the
+	// surviving corpus.
+	var total int
+	for g, srv := range e.srvs {
+		n := srv.Index().Len()
+		want := 0
+		for id := range alive {
+			if RouteID(id, 2) == g {
+				want++
+			}
+		}
+		if n != want {
+			t.Fatalf("group %d holds %d trajectories, want %d", g, n, want)
+		}
+		total += n
+	}
+	if total != e.ref.Index().Len() {
+		t.Fatalf("groups hold %d total, reference %d", total, e.ref.Index().Len())
+	}
+
+	// A duplicate insert's 409 comes back verbatim from the owner.
+	var dup *trajcover.Trajectory
+	for _, cand := range users[:450] {
+		if alive[uint32(cand.ID)] {
+			dup = cand
+			break
+		}
+	}
+	pts := make([][2]float64, len(dup.Points))
+	for j, p := range dup.Points {
+		pts[j] = [2]float64{p.X, p.Y}
+	}
+	st, body, _ := e.post(server.PathInsert, mustBody(t, server.InsertRequest{ID: uint32(dup.ID), Points: pts}))
+	if st != http.StatusConflict {
+		t.Fatalf("duplicate insert through frontend: %d %s, want 409", st, body)
+	}
+
+	// The prune accounting moved: every topk scattered one bounds RPC
+	// per group, and exact RPCs were spent.
+	stats := e.fe.Stats()
+	if stats.BoundRPCs == 0 || stats.ExactRPCs == 0 {
+		t.Fatalf("scatter counters never moved: %+v", stats)
+	}
+	if stats.Errors != 1 { // the 409 is the only error
+		t.Fatalf("errors = %d, want 1 (the 409): %+v", stats.Errors, stats)
+	}
+}
+
+// TestFrontendPartialMatrix is the degradation contract, table-driven:
+// the same read against (a) a dead group, (b) a deadline-starved group,
+// and (c) a mid-merge death answers exactly per the contract — default
+// mode fails with the right status, ?partial=1 either serves the
+// surviving groups' exact answer with the partial flag or still fails
+// when the merge itself was poisoned.
+func TestFrontendPartialMatrix(t *testing.T) {
+	users := testUsers(300, 311)
+	facs := testFacilities(8, 6, 312)
+	fjs := facilityJSONOf(facs)
+	parts := partitionUsers(users, 2)
+
+	// Group 0 is a real backend; group 1's behavior is the table knob.
+	mkReal := func(t *testing.T, us []*trajcover.Trajectory) (*httptest.Server, *server.Server) {
+		idx, err := trajcover.NewLiveShardedIndex(us, liveOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(idx, server.Config{Workers: 2, QueueDepth: 16, DefaultTimeout: 30 * time.Second})
+		return httptest.NewServer(srv.Handler()), srv
+	}
+
+	// The surviving group's own exact answers — what partial mode must
+	// serve byte-for-byte (values) / result-for-result (topk).
+	survivorIdx, err := trajcover.NewLiveShardedIndex(parts[0], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := trajcover.Query{Scenario: trajcover.Binary, Psi: 40}
+	survivorVals, err := survivorIdx.ServiceValues(facs, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivorTop, err := survivorIdx.TopK(facs, 4, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		// group1 returns the second group's base URL and a cleanup.
+		group1      func(t *testing.T) (string, func())
+		wantStatus  int  // default-mode status
+		wantRetry   bool // default-mode Retry-After present
+		partialOK   bool // ?partial=1 serves a 200 partial answer
+		partialCode int  // when !partialOK, the ?partial=1 status
+	}{
+		{
+			name: "group down",
+			group1: func(t *testing.T) (string, func()) {
+				ts := httptest.NewServer(http.NotFoundHandler())
+				url := ts.URL
+				ts.Close() // connection refused from the first RPC
+				return url, func() {}
+			},
+			wantStatus: http.StatusServiceUnavailable,
+			wantRetry:  true,
+			partialOK:  true,
+		},
+		{
+			name: "group deadline-starved",
+			group1: func(t *testing.T) (string, func()) {
+				ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					if r.URL.Path == server.PathHealth {
+						w.Write([]byte(`{"status":"ok"}`))
+						return
+					}
+					select { // hang until the caller gives up
+					case <-r.Context().Done():
+					case <-time.After(30 * time.Second):
+					}
+				}))
+				return ts.URL, ts.Close
+			},
+			wantStatus: http.StatusGatewayTimeout,
+			partialOK:  true,
+		},
+		{
+			name: "mid-merge death",
+			group1: func(t *testing.T) (string, func()) {
+				// Answers the bounds scatter with un-prunable bounds, then
+				// fails every exact RPC: the merge is poisoned after the
+				// group was counted present.
+				ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					switch r.URL.Path {
+					case server.PathHealth:
+						w.Write([]byte(`{"status":"ok"}`))
+					case server.PathUpperBounds:
+						var req struct {
+							Facilities []json.RawMessage `json:"facilities"`
+						}
+						body, _ := io.ReadAll(r.Body)
+						json.Unmarshal(body, &req)
+						bounds := make([]float64, len(req.Facilities))
+						for i := range bounds {
+							bounds[i] = 1e9
+						}
+						json.NewEncoder(w).Encode(map[string]any{"bounds": bounds})
+					default:
+						w.WriteHeader(http.StatusInternalServerError)
+						w.Write([]byte(`{"error":"killed"}`))
+					}
+				}))
+				return ts.URL, ts.Close
+			},
+			wantStatus:  http.StatusServiceUnavailable,
+			wantRetry:   true,
+			partialOK:   false,
+			partialCode: http.StatusServiceUnavailable,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts0, srv0 := mkReal(t, parts[0])
+			defer func() { ts0.Close(); srv0.Close() }()
+			url1, cleanup1 := tc.group1(t)
+			defer cleanup1()
+
+			fe, err := NewFrontend(FrontendConfig{
+				Groups:         []Group{{Members: []string{ts0.URL}}, {Members: []string{url1}}},
+				RPCTimeout:     500 * time.Millisecond,
+				DefaultTimeout: 5 * time.Second,
+				ProbeInterval:  time.Hour, // keep probes out of the picture
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fe.Close()
+			fets := httptest.NewServer(fe.Handler())
+			defer fets.Close()
+
+			topkBody := mustBody(t, server.QueryRequest{Facilities: fjs, K: 4, Psi: 40})
+			svBody := mustBody(t, server.QueryRequest{Facilities: fjs, Psi: 40})
+
+			// Default mode: the contracted failure status.
+			st, body, hdr := postTo(t, fets.Client(), fets.URL+server.PathTopK, topkBody)
+			if st != tc.wantStatus {
+				t.Fatalf("default topk: %d %s, want %d", st, body, tc.wantStatus)
+			}
+			if tc.wantRetry && hdr.Get("Retry-After") == "" {
+				t.Fatalf("default topk %d without Retry-After", st)
+			}
+			st, body, _ = postTo(t, fets.Client(), fets.URL+server.PathServiceValues, svBody)
+			if st != tc.wantStatus {
+				t.Fatalf("default servicevalues: %d %s, want %d", st, body, tc.wantStatus)
+			}
+
+			// ?partial=1.
+			st, body, _ = postTo(t, fets.Client(), fets.URL+server.PathTopK+"?partial=1", topkBody)
+			if !tc.partialOK {
+				if st != tc.partialCode {
+					t.Fatalf("partial topk after poisoned merge: %d %s, want %d", st, body, tc.partialCode)
+				}
+				return
+			}
+			if st != http.StatusOK {
+				t.Fatalf("partial topk: %d %s", st, body)
+			}
+			var pt PartialTopKResponse
+			if err := json.Unmarshal(body, &pt); err != nil {
+				t.Fatal(err)
+			}
+			if !pt.Partial || len(pt.MissingGroups) != 1 || pt.MissingGroups[0] != 1 {
+				t.Fatalf("partial topk flags: %s", body)
+			}
+			if len(pt.Results) != len(survivorTop) {
+				t.Fatalf("partial topk %d results, survivor answers %d", len(pt.Results), len(survivorTop))
+			}
+			for i, r := range pt.Results {
+				if r.ID != uint32(survivorTop[i].Facility.ID) || r.Service != survivorTop[i].Service {
+					t.Fatalf("partial topk[%d] = (%d, %v), survivor (%d, %v)",
+						i, r.ID, r.Service, survivorTop[i].Facility.ID, survivorTop[i].Service)
+				}
+			}
+
+			st, body, _ = postTo(t, fets.Client(), fets.URL+server.PathServiceValues+"?partial=1", svBody)
+			if st != http.StatusOK {
+				t.Fatalf("partial servicevalues: %d %s", st, body)
+			}
+			var pv PartialValuesResponse
+			if err := json.Unmarshal(body, &pv); err != nil {
+				t.Fatal(err)
+			}
+			if !pv.Partial || len(pv.MissingGroups) != 1 || pv.MissingGroups[0] != 1 {
+				t.Fatalf("partial servicevalues flags: %s", body)
+			}
+			for i, v := range pv.Values {
+				if v != survivorVals[i] {
+					t.Fatalf("partial value[%d] = %v, survivor %v", i, v, survivorVals[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFrontendIntraGroupFailover: a group whose primary is dead still
+// answers reads from its replica member, and writes to that group are
+// 503 (replicas are not write-capable owners).
+func TestFrontendIntraGroupFailover(t *testing.T) {
+	users := testUsers(200, 321)
+	facs := testFacilities(6, 5, 322)
+	parts := partitionUsers(users, 2)
+
+	idxA, err := trajcover.NewLiveShardedIndex(parts[0], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := server.New(idxA, server.Config{Workers: 2, QueueDepth: 16, DefaultTimeout: 30 * time.Second})
+	defer srvA.Close()
+	// "Replica": an identically stocked second member of group 0.
+	idxA2, err := trajcover.NewLiveShardedIndex(parts[0], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA2 := server.New(idxA2, server.Config{Workers: 2, QueueDepth: 16, DefaultTimeout: 30 * time.Second})
+	defer srvA2.Close()
+	idxB, err := trajcover.NewLiveShardedIndex(parts[1], liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB := server.New(idxB, server.Config{Workers: 2, QueueDepth: 16, DefaultTimeout: 30 * time.Second})
+	defer srvB.Close()
+
+	tsA := httptest.NewServer(srvA.Handler())
+	tsA2 := httptest.NewServer(srvA2.Handler())
+	defer tsA2.Close()
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+
+	fe, err := NewFrontend(FrontendConfig{
+		Groups:         []Group{{Members: []string{tsA.URL, tsA2.URL}}, {Members: []string{tsB.URL}}},
+		RPCTimeout:     500 * time.Millisecond,
+		DefaultTimeout: 10 * time.Second,
+		ProbeInterval:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	fets := httptest.NewServer(fe.Handler())
+	defer fets.Close()
+
+	// Kill group 0's primary. Reads must fail over to the replica and
+	// stay complete (not partial).
+	tsA.Close()
+	body := mustBody(t, server.QueryRequest{Facilities: facilityJSONOf(facs), K: 3, Psi: 40})
+	st, got, _ := postTo(t, fets.Client(), fets.URL+server.PathTopK, body)
+	if st != http.StatusOK {
+		t.Fatalf("topk with dead primary: %d %s", st, got)
+	}
+	if strings.Contains(string(got), `"partial":true`) {
+		t.Fatalf("failover answer flagged partial: %s", got)
+	}
+	if fe.Stats().Failovers == 0 {
+		t.Fatal("failover counter never moved")
+	}
+
+	// A write owned by group 0 has no live primary: transient 503 with
+	// the retry hint — never silently written to a replica.
+	var ownedBy0 uint32
+	for id := uint32(100000); ; id++ {
+		if RouteID(id, 2) == 0 {
+			ownedBy0 = id
+			break
+		}
+	}
+	st, got, hdr := postTo(t, fets.Client(), fets.URL+server.PathInsert,
+		mustBody(t, server.InsertRequest{ID: ownedBy0, Points: [][2]float64{{1, 1}, {2, 2}}}))
+	if st != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("write to dead primary: %d %s (Retry-After %q), want 503+hint", st, got, hdr.Get("Retry-After"))
+	}
+	// Group 1 writes still land.
+	var ownedBy1 uint32
+	for id := uint32(100000); ; id++ {
+		if RouteID(id, 2) == 1 {
+			ownedBy1 = id
+			break
+		}
+	}
+	st, got, _ = postTo(t, fets.Client(), fets.URL+server.PathInsert,
+		mustBody(t, server.InsertRequest{ID: ownedBy1, Points: [][2]float64{{1, 1}, {2, 2}}}))
+	if st != http.StatusOK {
+		t.Fatalf("write to live group: %d %s", st, got)
+	}
+}
+
+// TestFrontendProbeRemovalReadmission: the probe loop removes a member
+// that stops answering /healthz and readmits it when it recovers,
+// surfacing both through /healthz ("degraded" vs "ok") and the log.
+func TestFrontendProbeRemovalReadmission(t *testing.T) {
+	users := testUsers(100, 331)
+	idx, err := trajcover.NewLiveShardedIndex(users, liveOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(idx, server.Config{Workers: 1, QueueDepth: 8})
+	defer srv.Close()
+
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	var logMu sync.Mutex
+	var logs []string
+	fe, err := NewFrontend(FrontendConfig{
+		Groups:        []Group{{Members: []string{ts.URL}}},
+		ProbeInterval: 20 * time.Millisecond,
+		RPCTimeout:    time.Second,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	fets := httptest.NewServer(fe.Handler())
+	defer fets.Close()
+
+	waitHealth := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := fets.Client().Get(fets.URL + server.PathHealth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var h FrontendHealth
+			json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if h.Status == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("health never became %q (now %q)", want, h.Status)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	waitHealth("ok")
+	down.Store(true)
+	waitHealth("degraded")
+	down.Store(false)
+	waitHealth("ok")
+
+	logMu.Lock()
+	joined := strings.Join(logs, "\n")
+	logMu.Unlock()
+	if !strings.Contains(joined, "removed") || !strings.Contains(joined, "readmitted") {
+		t.Fatalf("probe transitions not logged: %q", joined)
+	}
+}
+
+// TestFrontendDrainAndLimits: drain flips healthz and rejects reads with
+// Retry-After; oversized bodies are 413; bad JSON is 400 without any
+// backend RPC.
+func TestFrontendDrainAndLimits(t *testing.T) {
+	users := testUsers(60, 341)
+	e := newDistEnv(t, users, 2, FrontendConfig{MaxBodyBytes: 512})
+
+	if st, body, _ := e.post(server.PathTopK, []byte(`{"facilities":`)); st != http.StatusBadRequest {
+		t.Fatalf("bad json: %d %s", st, body)
+	}
+	big := `{"filler":"` + strings.Repeat("x", 2048) + `"}`
+	if st, _, _ := e.post(server.PathTopK, []byte(big)); st != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body not 413")
+	}
+	resp, err := e.client.Get(e.fets.URL + server.PathTopK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET topk: %d", resp.StatusCode)
+	}
+
+	e.fe.BeginDrain()
+	resp, err = e.client.Get(e.fets.URL + server.PathHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d", resp.StatusCode)
+	}
+	st, _, hdr := e.post(server.PathTopK, mustBody(t, server.QueryRequest{
+		Facilities: facilityJSONOf(testFacilities(2, 3, 342)), K: 1, Psi: 40,
+	}))
+	if st != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("draining topk: %d, want 503+Retry-After", st)
+	}
+}
+
+// TestFrontendPrunesAcrossTheWire pins the distributed shard-prune: a
+// facility whose summed upper bounds cannot reach the top k must be
+// answered without ANY group computing its exact value — the exact-RPC
+// spend stays proportional to the contenders, not the candidate set.
+func TestFrontendPrunesAcrossTheWire(t *testing.T) {
+	// A dense cluster in one corner and a near-empty one far away:
+	// heavily skewed, so bounds separate the contenders immediately.
+	var users []*trajcover.Trajectory
+	rng := rand.New(rand.NewSource(351))
+	for i := 0; i < 300; i++ {
+		x, y := 40+rng.Float64()*80, 40+rng.Float64()*80
+		u, err := trajcover.NewTrajectory(trajcover.ID(i), []trajcover.Point{
+			trajcover.Pt(x, y), trajcover.Pt(clampF(x+rng.NormFloat64()*5, 0, 1000), clampF(y+rng.NormFloat64()*5, 0, 1000)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		users = append(users, u)
+	}
+	for i := 300; i < 303; i++ { // three stragglers by the far corner
+		u, err := trajcover.NewTrajectory(trajcover.ID(i), []trajcover.Point{
+			trajcover.Pt(900+float64(i-300), 900), trajcover.Pt(905+float64(i-300), 905),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		users = append(users, u)
+	}
+	e := newDistEnv(t, users, 2, FrontendConfig{DefaultTimeout: 30 * time.Second})
+
+	// One facility in the cluster, several out in the sparse corner.
+	mkFac := func(id uint32, x, y float64) server.FacilityJSON {
+		return server.FacilityJSON{ID: id, Stops: [][2]float64{{x, y}, {x + 30, y + 30}}}
+	}
+	fjs := []server.FacilityJSON{mkFac(1, 80, 80)}
+	for i := uint32(2); i <= 6; i++ {
+		fjs = append(fjs, mkFac(i, 880+float64(i), 880))
+	}
+	st, body, _ := e.post(server.PathTopK, mustBody(t, server.QueryRequest{Facilities: fjs, K: 1, Psi: 30}))
+	if st != http.StatusOK {
+		t.Fatalf("topk: %d %s", st, body)
+	}
+	var tr server.TopKResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Results) != 1 || tr.Results[0].ID != 1 {
+		t.Fatalf("top-1 = %s, want facility 1", body)
+	}
+	stats := e.fe.Stats()
+	if stats.PrunedFacilities == 0 {
+		t.Fatalf("no facility pruned under heavy skew: %+v", stats)
+	}
+	// The pruned facilities must not have paid exact RPCs: at most the
+	// contenders (6 - pruned) across 2 groups each.
+	if max := (6 - stats.PrunedFacilities) * 2; stats.ExactRPCs > max {
+		t.Fatalf("%d exact RPCs for %d unpruned facilities over 2 groups (max %d)", stats.ExactRPCs, 6-stats.PrunedFacilities, max)
+	}
+}
+
+// TestRouteIDMatchesShardHash pins the frontend's owner map to the
+// index's own hash partitioner — the invariant that makes a RouteID
+// slice of the corpus exactly one backend's shard content.
+func TestRouteIDMatchesShardHash(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		for id := uint32(0); id < 5000; id++ {
+			u, err := trajcover.NewTrajectory(trajcover.ID(id), []trajcover.Point{trajcover.Pt(1, 1), trajcover.Pt(2, 2)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := RouteID(id, n), (shard.Hash{}).Assign(u, testBounds, n); got != want {
+				t.Fatalf("RouteID(%d, %d) = %d, shard.Hash = %d", id, n, got, want)
+			}
+		}
+	}
+}
+
+// TestParseMap pins the -backends grammar.
+func TestParseMap(t *testing.T) {
+	groups, err := ParseMap("http://a:8080|http://a:8081/,http://b:8080")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || len(groups[0].Members) != 2 || len(groups[1].Members) != 1 {
+		t.Fatalf("parsed %+v", groups)
+	}
+	if groups[0].Members[1] != "http://a:8081" {
+		t.Fatalf("trailing slash kept: %q", groups[0].Members[1])
+	}
+	for _, bad := range []string{"", ",", "http://a|,http://b", "ftp://a:1", "a:8080"} {
+		if _, err := ParseMap(bad); err == nil {
+			t.Fatalf("ParseMap(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	trajcover "github.com/trajcover/trajcover"
+	"github.com/trajcover/trajcover/internal/query"
+	"github.com/trajcover/trajcover/internal/server"
+)
+
+// scatter is one /v1/topk request's shared state across its remote
+// explorations: the request context (cancelled on the first RPC
+// failure, so the merge unwinds instead of issuing doomed RPCs), the
+// decoded facilities, and the first error.
+type scatter struct {
+	fe     *Frontend
+	ctx    context.Context
+	cancel context.CancelFunc
+	req    *server.QueryRequest
+	facs   []*trajcover.Facility
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+func newScatter(fe *Frontend, ctx context.Context, cancel context.CancelFunc, req *server.QueryRequest, facs []*trajcover.Facility) *scatter {
+	return &scatter{fe: fe, ctx: ctx, cancel: cancel, req: req, facs: facs}
+}
+
+func (sc *scatter) allFacsBody() []byte { return marshalQuery(sc.req, sc.req.Facilities) }
+
+func (sc *scatter) oneFacBody(fi int) []byte {
+	return marshalQuery(sc.req, sc.req.Facilities[fi:fi+1])
+}
+
+func (sc *scatter) fail(err error) {
+	sc.mu.Lock()
+	if sc.firstErr == nil {
+		sc.firstErr = err
+		sc.cancel()
+	}
+	sc.mu.Unlock()
+}
+
+func (sc *scatter) err() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.firstErr
+}
+
+// explorations builds the merge input: one remoteExploration per
+// (facility, answering group), rows indexed like the facilities.
+// Groups with nil bounds (failed the scatter; partial mode) are left
+// out of every row — the merge then answers exactly over the
+// surviving groups' corpus.
+func (sc *scatter) explorations(bounds [][]float64) [][]query.Exploration {
+	exps := make([][]query.Exploration, len(sc.facs))
+	for i := range sc.facs {
+		row := make([]query.Exploration, 0, len(sc.fe.groups))
+		for gi, g := range sc.fe.groups {
+			if bounds[gi] == nil {
+				continue
+			}
+			row = append(row, &remoteExploration{sc: sc, g: g, fi: i, opt: bounds[gi][i]})
+		}
+		exps[i] = row
+	}
+	return exps
+}
+
+// remoteExploration is one (facility, shard group) leg of a
+// distributed top-k: a query.Exploration whose upper bound was seeded
+// by the group's /v1/upperbounds answer and whose single Relax is one
+// exact /v1/servicevalues RPC for that facility alone. The merge heap
+// schedules these exactly like in-process explorations, so a facility
+// whose summed bounds cannot reach the top k never pays the RPC —
+// the shard-prune across the wire.
+//
+// Like the in-process explorers it mirrors, a remoteExploration is not
+// safe for concurrent use; the merge relaxes any one facility's
+// explorations from one worker at a time.
+type remoteExploration struct {
+	sc    *scatter
+	g     *feGroup
+	fi    int
+	exact float64
+	opt   float64
+	done  bool
+	paid  bool // an exact RPC was issued (the facility was not pruned)
+}
+
+var _ query.Exploration = (*remoteExploration)(nil)
+
+func (x *remoteExploration) Facility() *trajcover.Facility { return x.sc.facs[x.fi] }
+func (x *remoteExploration) Exact() float64                { return x.exact }
+func (x *remoteExploration) Optimistic() float64           { return x.opt }
+func (x *remoteExploration) UpperBound() float64           { return x.exact + x.opt }
+func (x *remoteExploration) Done() bool                    { return x.done }
+
+// Relax completes the leg: one exact RPC against the group (failing
+// over across its members), after which Exact is the facility's
+// service value over the group's corpus and Optimistic is zero. On a
+// whole-group failure the scatter is poisoned and cancelled; the leg
+// reports done with a zero bound so the merge drains fast — its answer
+// is discarded.
+func (x *remoteExploration) Relax(_ *query.Metrics) {
+	if x.done {
+		return
+	}
+	x.done = true
+	x.opt = 0
+	x.paid = true
+	var resp server.ValuesResponse
+	if err := x.sc.fe.readGroup(x.sc.ctx, x.g, server.PathServiceValues, x.sc.oneFacBody(x.fi), &resp); err != nil {
+		x.sc.fail(err)
+		return
+	}
+	if len(resp.Values) != 1 {
+		x.sc.fail(fmt.Errorf("group %d answered %d values for 1 facility", x.g.id, len(resp.Values)))
+		return
+	}
+	x.sc.fe.exactRPCs.Add(1)
+	x.exact = resp.Values[0]
+}
+
+func (x *remoteExploration) Run(m *query.Metrics) float64 {
+	for !x.done {
+		x.Relax(m)
+	}
+	return x.exact
+}

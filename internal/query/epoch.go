@@ -471,3 +471,19 @@ func (ep *Epoch) NewExplorer(f *trajectory.Facility, p Params) (Exploration, err
 	d := &deltaExplorer{ep: ep, fac: f, p: p, opt: ep.deltaUB[p.Scenario]}
 	return &epochExplorer{parts: [2]Exploration{base, d}}, nil
 }
+
+// UpperBound seeds (without relaxing) one facility's exploration and
+// returns its initial upper bound — a sound overestimate of the
+// facility's service value over the epoch's logical corpus, computed in
+// one tree descent. This is the scatter unit of the distributed tier:
+// a query frontend asks every backend for per-facility upper bounds
+// first and spends the expensive exact evaluations only on facilities
+// whose summed bounds can still reach the global top k (the paper's
+// `sub`-bound shard-prune, preserved across the wire).
+func (ep *Epoch) UpperBound(f *trajectory.Facility, p Params) (float64, error) {
+	x, err := ep.NewExplorer(f, p)
+	if err != nil {
+		return 0, err
+	}
+	return x.UpperBound(), nil
+}

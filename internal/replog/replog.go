@@ -1,0 +1,180 @@
+// Package replog is the in-memory replication log behind the
+// distributed serving tier: a bounded, sequence-numbered record of the
+// acknowledged write history of one primary process, served to replicas
+// over GET /v1/changes as a WAL tail they apply after restoring the
+// primary's snapshot.
+//
+// The log is intentionally NOT the durability layer — internal/wal is.
+// It exists so a replica can follow the primary without touching the
+// primary's disk: the primary appends each acknowledged Insert/Delete
+// (cheap: the trajectory pointers are shared with the index), replicas
+// pull ordered suffixes by sequence number, and a replica that falls
+// behind the bounded window learns it loudly (After reports the trim)
+// and re-bootstraps from a fresh snapshot instead of silently serving a
+// gapped history.
+//
+// Boot identity: every Log carries a random BootID minted at creation.
+// A primary that crashes and recovers from its WAL starts a NEW log —
+// sequence numbers restart at zero against the recovered corpus — so a
+// replica pins the BootID it bootstrapped against and treats a mismatch
+// exactly like a trim: re-bootstrap. Sequence numbers alone can never
+// be compared across primary incarnations.
+package replog
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+)
+
+// Op names a replicated write.
+type Op string
+
+const (
+	// OpInsert replicates an acknowledged Insert.
+	OpInsert Op = "insert"
+	// OpDelete replicates an acknowledged Delete.
+	OpDelete Op = "delete"
+)
+
+// Entry is one acknowledged write on the replication wire. Points is
+// nil for deletes. Coordinates travel as float64 pairs exactly like the
+// public JSON API, so a replayed insert reproduces the primary's
+// trajectory bit-exactly.
+type Entry struct {
+	Seq    uint64       `json:"seq"`
+	Op     Op           `json:"op"`
+	ID     uint32       `json:"id"`
+	Points [][2]float64 `json:"points,omitempty"`
+}
+
+// Stats is the log's observable state (served under /statsz).
+type Stats struct {
+	BootID string `json:"boot_id"`
+	// Seq is the sequence number of the newest entry (0 when empty).
+	Seq uint64 `json:"seq"`
+	// Oldest is the sequence number of the oldest retained entry (0
+	// when nothing has been trimmed and nothing appended).
+	Oldest uint64 `json:"oldest"`
+	// Len is the number of retained entries; Cap the retention bound.
+	Len int `json:"len"`
+	Cap int `json:"cap"`
+	// Trimmed counts entries dropped by the retention bound since boot.
+	Trimmed uint64 `json:"trimmed"`
+}
+
+// DefaultCap bounds retained entries when New is given a non-positive
+// capacity. At ~100 bytes per entry this keeps the window under ~7 MiB
+// while covering far more history than a replica's poll interval needs.
+const DefaultCap = 1 << 16
+
+// Log is a bounded in-memory replication log. All methods are safe for
+// concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	boot    string
+	buf     []Entry // buf[0].Seq == start+1 when non-empty
+	start   uint64  // seq of the entry before buf[0] (== trimmed high-water)
+	seq     uint64  // seq of the newest appended entry
+	cap     int
+	trimmed uint64
+	// wake is closed and replaced on every append — the broadcast
+	// primitive Wait's long-poll blocks on.
+	wake chan struct{}
+}
+
+// New builds an empty log retaining at most cap entries (<= 0:
+// DefaultCap) under a freshly minted BootID.
+func New(cap int) *Log {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("replog: no entropy for boot id: " + err.Error())
+	}
+	return &Log{
+		boot: hex.EncodeToString(b[:]),
+		cap:  cap,
+		wake: make(chan struct{}),
+	}
+}
+
+// BootID returns this log's boot identity.
+func (l *Log) BootID() string { return l.boot }
+
+// Seq returns the sequence number of the newest appended entry (0 when
+// nothing has been appended this boot).
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Append assigns the next sequence number to e, retains it (trimming
+// the oldest entry past the capacity bound), wakes long-pollers, and
+// returns the assigned sequence number.
+func (l *Log) Append(e Entry) uint64 {
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	l.buf = append(l.buf, e)
+	if len(l.buf) > l.cap {
+		drop := len(l.buf) - l.cap
+		l.start += uint64(drop)
+		l.trimmed += uint64(drop)
+		l.buf = append(l.buf[:0], l.buf[drop:]...)
+	}
+	wake := l.wake
+	l.wake = make(chan struct{})
+	l.mu.Unlock()
+	close(wake)
+	return e.Seq
+}
+
+// After returns up to limit entries with Seq > after, in sequence
+// order. ok is false when `after` precedes the retained window — the
+// caller missed trimmed history and must re-bootstrap from a snapshot;
+// entries are nil then. limit <= 0 means no bound.
+func (l *Log) After(after uint64, limit int) (entries []Entry, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if after < l.start {
+		return nil, false
+	}
+	if after >= l.seq {
+		return nil, true
+	}
+	i := int(after - l.start) // index of the first wanted entry
+	n := len(l.buf) - i
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	entries = make([]Entry, n)
+	copy(entries, l.buf[i:i+n])
+	return entries, true
+}
+
+// WaitChan returns a channel that is closed by the next Append after
+// the call, together with the current newest sequence number. A
+// long-polling handler checks seq > after first, and otherwise selects
+// on the channel and its deadline.
+func (l *Log) WaitChan() (<-chan struct{}, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wake, l.seq
+}
+
+// Snapshot reports the log's observable state.
+func (l *Log) Snapshot() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		BootID:  l.boot,
+		Seq:     l.seq,
+		Oldest:  l.start,
+		Len:     len(l.buf),
+		Cap:     l.cap,
+		Trimmed: l.trimmed,
+	}
+}

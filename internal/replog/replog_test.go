@@ -1,0 +1,175 @@
+package replog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func entry(i int) Entry {
+	return Entry{Op: OpInsert, ID: uint32(i), Points: [][2]float64{{float64(i), 1}, {2, 3}}}
+}
+
+// TestLogAppendAfter pins the core contract: sequence numbers are dense
+// from 1, After(after) returns exactly the suffix past `after` in order,
+// and limit bounds the page without losing position.
+func TestLogAppendAfter(t *testing.T) {
+	l := New(100)
+	if l.Seq() != 0 {
+		t.Fatalf("fresh log seq = %d", l.Seq())
+	}
+	if got, ok := l.After(0, 0); !ok || got != nil {
+		t.Fatalf("After on empty log = (%v, %v), want (nil, true)", got, ok)
+	}
+	for i := 1; i <= 10; i++ {
+		if seq := l.Append(entry(i)); seq != uint64(i) {
+			t.Fatalf("append %d assigned seq %d", i, seq)
+		}
+	}
+	got, ok := l.After(3, 0)
+	if !ok || len(got) != 7 {
+		t.Fatalf("After(3) = %d entries, ok=%v", len(got), ok)
+	}
+	for i, e := range got {
+		if e.Seq != uint64(4+i) || e.ID != uint32(4+i) {
+			t.Fatalf("After(3)[%d] = seq %d id %d", i, e.Seq, e.ID)
+		}
+	}
+	// Paged read: two pages of 4 then the remainder reassemble the suffix.
+	page1, _ := l.After(0, 4)
+	page2, _ := l.After(page1[len(page1)-1].Seq, 4)
+	page3, _ := l.After(page2[len(page2)-1].Seq, 4)
+	if len(page1) != 4 || len(page2) != 4 || len(page3) != 2 {
+		t.Fatalf("pages %d/%d/%d, want 4/4/2", len(page1), len(page2), len(page3))
+	}
+	if page3[1].Seq != 10 {
+		t.Fatalf("last paged seq %d, want 10", page3[1].Seq)
+	}
+	// Caught up: nil, true.
+	if got, ok := l.After(10, 0); !ok || got != nil {
+		t.Fatalf("After(head) = (%v, %v), want (nil, true)", got, ok)
+	}
+}
+
+// TestLogTrim overflows the retention bound and asserts the window
+// slides, readers inside the window still succeed, and readers whose
+// position was trimmed away get the loud ok=false re-bootstrap signal.
+func TestLogTrim(t *testing.T) {
+	l := New(4)
+	for i := 1; i <= 10; i++ {
+		l.Append(entry(i))
+	}
+	st := l.Snapshot()
+	if st.Len != 4 || st.Cap != 4 || st.Seq != 10 || st.Oldest != 6 || st.Trimmed != 6 {
+		t.Fatalf("stats after overflow: %+v", st)
+	}
+	// after == Oldest is the boundary: entry 6 is gone but position 6 is
+	// exactly the start of the window, so the read succeeds from 7.
+	got, ok := l.After(6, 0)
+	if !ok || len(got) != 4 || got[0].Seq != 7 {
+		t.Fatalf("After(oldest) = %d entries from %d, ok=%v", len(got), got[0].Seq, ok)
+	}
+	// after < Oldest: the caller's next entry was trimmed — re-bootstrap.
+	if _, ok := l.After(5, 0); ok {
+		t.Fatal("After(trimmed position) reported ok")
+	}
+	if _, ok := l.After(0, 0); ok {
+		t.Fatal("After(0) after trim reported ok")
+	}
+}
+
+// TestLogWaitChan: the channel returned before an append is closed by
+// it, and the seq returned alongside lets the caller skip the wait when
+// entries already exist.
+func TestLogWaitChan(t *testing.T) {
+	l := New(10)
+	ch, seq := l.WaitChan()
+	if seq != 0 {
+		t.Fatalf("WaitChan seq = %d", seq)
+	}
+	select {
+	case <-ch:
+		t.Fatal("wake channel closed before any append")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ch:
+		case <-time.After(10 * time.Second):
+			t.Error("append never woke the waiter")
+		}
+	}()
+	l.Append(entry(1))
+	<-done
+	// The replaced channel covers the NEXT append only.
+	ch2, seq2 := l.WaitChan()
+	if seq2 != 1 {
+		t.Fatalf("WaitChan after append seq = %d", seq2)
+	}
+	select {
+	case <-ch2:
+		t.Fatal("fresh wake channel already closed")
+	default:
+	}
+}
+
+// TestLogBootID: distinct logs mint distinct boot identities (the
+// property replica re-bootstrap detection stands on).
+func TestLogBootID(t *testing.T) {
+	a, b := New(1), New(1)
+	if a.BootID() == "" || len(a.BootID()) != 16 {
+		t.Fatalf("boot id %q, want 16 hex chars", a.BootID())
+	}
+	if a.BootID() == b.BootID() {
+		t.Fatalf("two logs share boot id %q", a.BootID())
+	}
+}
+
+// TestLogConcurrentAppendRead hammers Append from several writers while
+// readers page through; run under -race. Every reader must observe a
+// dense, strictly increasing sequence.
+func TestLogConcurrentAppendRead(t *testing.T) {
+	l := New(1 << 12)
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Append(entry(w*perWriter + i))
+			}
+		}(w)
+	}
+	var readErr error
+	var readOnce sync.Once
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var after uint64
+		for after < writers*perWriter {
+			got, ok := l.After(after, 32)
+			if !ok {
+				readOnce.Do(func() { readErr = fmt.Errorf("reader trimmed out at %d", after) })
+				return
+			}
+			for _, e := range got {
+				if e.Seq != after+1 {
+					readOnce.Do(func() { readErr = fmt.Errorf("gap: got seq %d after %d", e.Seq, after) })
+					return
+				}
+				after = e.Seq
+			}
+		}
+	}()
+	wg.Wait()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if l.Seq() != writers*perWriter {
+		t.Fatalf("final seq %d, want %d", l.Seq(), writers*perWriter)
+	}
+}

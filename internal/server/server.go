@@ -19,11 +19,13 @@
 //
 //	POST /v1/topk           {"facilities":[{"id":1,"stops":[[x,y],...]}],"k":8,"scenario":"binary","psi":300}
 //	POST /v1/servicevalues  {"facilities":[...],"scenario":"binary","psi":300}
+//	POST /v1/upperbounds    {"facilities":[...],"scenario":"binary","psi":300} (initial bounds; dist scatter unit)
 //	POST /v1/insert         {"id":9001,"points":[[x,y],[x,y]]}
 //	POST /v1/delete         {"id":9001}
 //	POST /v1/compact        {}
-//	GET  /v1/snapshot       -> TQLIVE01 stream
+//	GET  /v1/snapshot       -> TQLIVE01 stream (+X-Repl-Boot/X-Repl-Seq when replicating)
 //	POST /v1/checkpoint     {} (WAL-backed index only)
+//	GET  /v1/changes        ?after=N&boot=ID&wait_ms=MS -> replication tail (Config.ReplLog)
 //	GET  /healthz, /statsz
 //
 // On a WAL-backed index (tqserve -wal-dir), /v1/snapshot streams the
@@ -69,6 +71,7 @@ import (
 	"time"
 
 	trajcover "github.com/trajcover/trajcover"
+	"github.com/trajcover/trajcover/internal/replog"
 	"github.com/trajcover/trajcover/internal/rescache"
 	"github.com/trajcover/trajcover/internal/tenant"
 )
@@ -97,6 +100,14 @@ type Config struct {
 	// version, so a cached answer is always what the index would answer
 	// right now — writes invalidate by construction, not by purging.
 	ResultCacheBytes int64
+	// ReplLog, when non-nil, turns on primary-side replication on a
+	// single-tenant server: every acknowledged insert/delete is appended
+	// to the log in the order it took effect on the index, GET
+	// /v1/changes serves ordered suffixes to replicas (long-polling on
+	// wait_ms), and /v1/snapshot stamps X-Repl-Boot / X-Repl-Seq so a
+	// bootstrapping replica knows which log suffix follows the stream it
+	// is downloading. Ignored by multi-tenant servers.
+	ReplLog *replog.Log
 }
 
 func (c Config) withDefaults() Config {
@@ -284,6 +295,7 @@ type Stats struct {
 	Registry        *trajcover.TenantRegistryStats `json:"registry,omitempty"`
 	OverridesInfo   *OverridesSnapshot             `json:"overrides,omitempty"`
 	ResultCache     *rescache.Snapshot             `json:"result_cache,omitempty"`
+	Replication     *replog.Stats                  `json:"replication,omitempty"`
 }
 
 // OverridesSnapshot reports the overrides reload counters /statsz shows
@@ -298,12 +310,22 @@ type OverridesSnapshot struct {
 // down with BeginDrain → HTTP shutdown → Close.
 type Server struct {
 	cfg Config
-	// Exactly one of idx/reg is set: idx is the single-tenant mode (New;
-	// every request belongs to the default tenant), reg the multi-tenant
-	// mode (NewMulti).
-	idx   *trajcover.LiveShardedIndex
+	// Exactly one of idx/reg is live: idx is the single-tenant mode
+	// (New; every request belongs to the default tenant), reg the
+	// multi-tenant mode (NewMulti). idx is an atomic pointer so a
+	// replica can swap in a freshly bootstrapped index (SetIndex) when
+	// its primary restarts, without dropping the listener.
+	idx   atomic.Pointer[trajcover.LiveShardedIndex]
 	reg   *trajcover.TenantRegistry
 	queue chan *task
+
+	// repl is the primary-side replication log (Config.ReplLog;
+	// single-tenant only). replmu serializes each (index write, log
+	// append) pair so the log order is exactly the order writes took
+	// effect — without it two racing writes to the same ID could
+	// replicate in the opposite order they applied.
+	repl   *replog.Log
+	replmu sync.Mutex
 
 	// cache is the epoch-keyed result cache (nil when disabled; a nil
 	// *rescache.Cache is a valid always-miss cache).
@@ -341,11 +363,13 @@ type Server struct {
 const (
 	PathTopK          = "/v1/topk"
 	PathServiceValues = "/v1/servicevalues"
+	PathUpperBounds   = "/v1/upperbounds"
 	PathInsert        = "/v1/insert"
 	PathDelete        = "/v1/delete"
 	PathCompact       = "/v1/compact"
 	PathSnapshot      = "/v1/snapshot"
 	PathCheckpoint    = "/v1/checkpoint"
+	PathChanges       = "/v1/changes"
 	PathHealth        = "/healthz"
 	PathStats         = "/statsz"
 )
@@ -368,7 +392,6 @@ func newServer(idx *trajcover.LiveShardedIndex, reg *trajcover.TenantRegistry, c
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:        cfg,
-		idx:        idx,
 		reg:        reg,
 		queue:      make(chan *task, cfg.QueueDepth),
 		cache:      rescache.New(cfg.ResultCacheBytes),
@@ -378,16 +401,24 @@ func newServer(idx *trajcover.LiveShardedIndex, reg *trajcover.TenantRegistry, c
 		gates:      map[string]*tenant.Gate{},
 		retryAfter: strconv.Itoa(int((cfg.RetryAfter + time.Second - 1) / time.Second)),
 	}
-	for _, p := range []string{PathTopK, PathServiceValues, PathInsert, PathDelete, PathCompact, PathSnapshot, PathCheckpoint} {
+	if idx != nil {
+		s.idx.Store(idx)
+	}
+	if reg == nil {
+		s.repl = cfg.ReplLog
+	}
+	for _, p := range []string{PathTopK, PathServiceValues, PathUpperBounds, PathInsert, PathDelete, PathCompact, PathSnapshot, PathCheckpoint, PathChanges} {
 		s.stats[p] = &endpointStats{}
 	}
 	s.mux.HandleFunc(PathTopK, s.requirePost(s.handleTopK))
 	s.mux.HandleFunc(PathServiceValues, s.requirePost(s.handleServiceValues))
+	s.mux.HandleFunc(PathUpperBounds, s.requirePost(s.handleUpperBounds))
 	s.mux.HandleFunc(PathInsert, s.requirePost(s.handleInsert))
 	s.mux.HandleFunc(PathDelete, s.requirePost(s.handleDelete))
 	s.mux.HandleFunc(PathCompact, s.requirePost(s.handleCompact))
 	s.mux.HandleFunc(PathSnapshot, s.handleSnapshot)
 	s.mux.HandleFunc(PathCheckpoint, s.handleCheckpoint)
+	s.mux.HandleFunc(PathChanges, s.handleChanges)
 	s.mux.HandleFunc(PathHealth, s.handleHealth)
 	s.mux.HandleFunc(PathStats, s.handleStats)
 	for i := 0; i < cfg.Workers; i++ {
@@ -403,8 +434,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Index returns the default tenant's index (nil when a multi-tenant
 // server has no default tenant yet).
 func (s *Server) Index() *trajcover.LiveShardedIndex {
-	if s.idx != nil {
-		return s.idx
+	if s.reg == nil {
+		return s.idx.Load()
 	}
 	idx, release, err := s.reg.Acquire(tenant.DefaultID, false)
 	if err != nil {
@@ -412,6 +443,27 @@ func (s *Server) Index() *trajcover.LiveShardedIndex {
 	}
 	release()
 	return idx
+}
+
+// SetIndex atomically replaces the single-tenant served index. It is
+// the replica re-bootstrap hook: when the primary's replication boot
+// identity changes (crash + WAL recovery), the replica restores a
+// fresh index from the new snapshot and swaps it in here without
+// dropping its listener. Requests already admitted finish against the
+// index they were admitted on — still a valid acknowledged prefix.
+// Servers that swap indexes must run with the result cache disabled
+// (Config.ResultCacheBytes <= 0): cache keys include the index's write
+// version but not its identity, so entries from the old index could
+// answer for the new one. Panics on a multi-tenant server or a nil
+// index.
+func (s *Server) SetIndex(idx *trajcover.LiveShardedIndex) {
+	if s.reg != nil {
+		panic("server: SetIndex on a multi-tenant server")
+	}
+	if idx == nil {
+		panic("server: SetIndex(nil)")
+	}
+	s.idx.Store(idx)
 }
 
 // SetOverrides swaps in a new per-tenant limits document — the whole
@@ -471,7 +523,7 @@ func (s *Server) acquireTenant(id string, create bool) (*trajcover.LiveShardedIn
 	if id != tenant.DefaultID {
 		return nil, nil, fmt.Errorf("%w: %q", trajcover.ErrUnknownTenant, id)
 	}
-	return s.idx, func() {}, nil
+	return s.idx.Load(), func() {}, nil
 }
 
 // BeginDrain flips the server into draining: /healthz reports 503 (so
@@ -735,6 +787,19 @@ func (s *Server) rejectDecode(w http.ResponseWriter, ep *endpointStats, err erro
 	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 }
 
+// replLock serializes one (index write, replication append) pair. When
+// replication is off it is a no-op, keeping the write path's existing
+// concurrency; when on, it pins the log order to the order writes took
+// effect on the index, which is what lets a replica replay the log and
+// land on the primary's exact corpus.
+func (s *Server) replLock() func() {
+	if s.repl == nil {
+		return func() {}
+	}
+	s.replmu.Lock()
+	return s.replmu.Unlock
+}
+
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	ep := s.stats[PathTopK]
 	body, ok := s.admit(w, r, ep)
@@ -888,6 +953,40 @@ func (s *Server) streamServiceValues(w http.ResponseWriter, r *http.Request, ep 
 	ep.observe(time.Since(start))
 }
 
+// handleUpperBounds answers POST /v1/upperbounds: per-facility initial
+// upper bounds (seeded, never relaxed — cheap) over the live corpus.
+// This is the distributed frontend's scatter unit: a facility whose
+// bounds summed across every backend cannot reach the provisional top
+// k is pruned without any backend doing exact work for it. The body is
+// a /v1/servicevalues request (k ignored); bounds are indexed like the
+// facilities. Cached like the other read endpoints — bounds are a pure
+// function of (request, index version).
+func (s *Server) handleUpperBounds(w http.ResponseWriter, r *http.Request) {
+	ep := s.stats[PathUpperBounds]
+	body, ok := s.admit(w, r, ep)
+	if !ok {
+		return
+	}
+	req, facs, q, err := DecodeQueryRequest(body, false)
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
+	tid, err := resolveTenant(r, req.Tenant)
+	if err != nil {
+		s.rejectDecode(w, ep, err)
+		return
+	}
+	hash := CanonicalQueryHash(PathUpperBounds, req, 0, q)
+	s.executeTenant(w, r, ep, tid, false, req.TimeoutMS, &hash, func(ctx context.Context, idx *trajcover.LiveShardedIndex) response {
+		bs, err := idx.UpperBoundsCtx(ctx, facs, q)
+		if err != nil {
+			return errResponse(err)
+		}
+		return response{status: http.StatusOK, body: MarshalBoundsResponse(bs)}
+	})
+}
+
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	ep := s.stats[PathInsert]
 	body, ok := s.admit(w, r, ep)
@@ -905,7 +1004,13 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.executeTenant(w, r, ep, tid, true, req.TimeoutMS, nil, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
-		if err := idx.Insert(u); err != nil {
+		unlock := s.replLock()
+		err := idx.Insert(u)
+		if err == nil && s.repl != nil {
+			s.repl.Append(replog.Entry{Op: replog.OpInsert, ID: req.ID, Points: req.Points})
+		}
+		unlock()
+		if err != nil {
 			// Duplicate IDs and unroutable (immutable-restore) inserts
 			// are conflicts with the served corpus, not malformed input.
 			// A degraded index is a transient 503: the write was NOT
@@ -942,7 +1047,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.executeTenant(w, r, ep, tid, true, req.TimeoutMS, nil, func(_ context.Context, idx *trajcover.LiveShardedIndex) response {
+		unlock := s.replLock()
 		found, err := idx.Delete(trajcover.ID(req.ID))
+		if err == nil && found && s.repl != nil {
+			// A not-found delete mutated nothing; replicating it would
+			// only burn sequence numbers.
+			s.repl.Append(replog.Entry{Op: replog.OpDelete, ID: req.ID})
+		}
+		unlock()
 		if err != nil {
 			// The delete was not acknowledged: transient 503 while
 			// degraded (retry after the hint), 500 otherwise.
@@ -1005,6 +1117,15 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	w.Header().Set("Content-Type", "application/octet-stream")
+	if s.repl != nil {
+		// Seq is read BEFORE the stream's epoch capture, so every write
+		// the snapshot might miss has a sequence number strictly above
+		// the header — the replica's tail replay starts there, and any
+		// overlap (writes landing between this read and the capture)
+		// replays idempotently on the replica.
+		w.Header().Set("X-Repl-Boot", s.repl.BootID())
+		w.Header().Set("X-Repl-Seq", strconv.FormatUint(s.repl.Seq(), 10))
+	}
 	var err error
 	if _, hasWAL := idx.WALStats(); hasWAL {
 		err = idx.CheckpointTo(w)
@@ -1087,6 +1208,104 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CheckpointResponse{OK: true, WALSegments: wst.Segments, WALBytes: wst.Bytes})
 }
 
+// maxChangesWait caps /v1/changes long-polls so a silent replica can
+// never pin a handler goroutine indefinitely.
+const maxChangesWait = 30 * time.Second
+
+// handleChanges serves GET /v1/changes — the replication tail. Query
+// parameters: after (last applied sequence number, default 0), boot
+// (the BootID the replica bootstrapped against), limit (max entries,
+// default unbounded), wait_ms (long-poll: block up to this long for
+// entries past `after` before answering empty). Answers 410 Gone when
+// the boot identity changed or `after` precedes the retained window —
+// both mean the replica's history diverged from what the log can
+// replay, and it must re-bootstrap from /v1/snapshot. Like
+// /v1/snapshot it bypasses the query pool, and it keeps serving while
+// draining so replicas can catch up right until the primary exits.
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
+	ep := s.stats[PathChanges]
+	ep.requests.Add(1)
+	start := time.Now()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use GET"})
+		return
+	}
+	if s.repl == nil {
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "replication log not enabled (single-tenant tqserve only)"})
+		return
+	}
+	q := r.URL.Query()
+	parseUint := func(name string) (uint64, bool) {
+		raw := q.Get(name)
+		if raw == "" {
+			return 0, true
+		}
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			ep.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: name + " must be a non-negative integer"})
+			return 0, false
+		}
+		return v, true
+	}
+	after, ok := parseUint("after")
+	if !ok {
+		return
+	}
+	limit64, ok := parseUint("limit")
+	if !ok {
+		return
+	}
+	waitMS, ok := parseUint("wait_ms")
+	if !ok {
+		return
+	}
+	if boot := q.Get("boot"); boot != "" && boot != s.repl.BootID() {
+		ep.errors.Add(1)
+		writeJSON(w, http.StatusGone, ErrorResponse{Error: fmt.Sprintf("replication boot changed (now %s): re-bootstrap from %s", s.repl.BootID(), PathSnapshot)})
+		return
+	}
+	wait := time.Duration(waitMS) * time.Millisecond
+	if wait > maxChangesWait {
+		wait = maxChangesWait
+	}
+	var deadline <-chan time.Time
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		entries, ok := s.repl.After(after, int(limit64))
+		if !ok {
+			ep.errors.Add(1)
+			writeJSON(w, http.StatusGone, ErrorResponse{Error: fmt.Sprintf("replication window trimmed past seq %d: re-bootstrap from %s", after, PathSnapshot)})
+			return
+		}
+		if len(entries) > 0 || wait == 0 {
+			writeJSON(w, http.StatusOK, ChangesResponse{BootID: s.repl.BootID(), Seq: s.repl.Seq(), Entries: entries})
+			ep.observe(time.Since(start))
+			return
+		}
+		wake, head := s.repl.WaitChan()
+		if head > after {
+			continue // appended between After and WaitChan
+		}
+		select {
+		case <-wake:
+		case <-deadline:
+			wait = 0 // answer whatever is there now (possibly empty)
+		case <-r.Context().Done():
+			ep.errors.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: r.Context().Err().Error()})
+			return
+		}
+	}
+}
+
 // HealthResponse is the /healthz document. Degraded maps each tenant
 // currently in degraded read-only mode to its cause.
 type HealthResponse struct {
@@ -1104,7 +1323,7 @@ func (s *Server) degradedCauses() map[string]string {
 		}
 		return nil
 	}
-	if h := s.idx.Health(); h.Degraded {
+	if h := s.idx.Load().Health(); h.Degraded {
 		return map[string]string{tenant.DefaultID: h.Cause}
 	}
 	return nil
@@ -1196,6 +1415,10 @@ func (s *Server) Stats() Stats {
 	if s.cache != nil {
 		cst := s.cache.Stats()
 		st.ResultCache = &cst
+	}
+	if s.repl != nil {
+		rst := s.repl.Snapshot()
+		st.Replication = &rst
 	}
 	return st
 }

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	trajcover "github.com/trajcover/trajcover"
+	"github.com/trajcover/trajcover/internal/replog"
 )
 
 // Decoder limits. Bodies are already capped by Config.MaxBodyBytes at
@@ -117,6 +118,24 @@ type TopKResponse struct {
 // the request's facilities.
 type ValuesResponse struct {
 	Values []float64 `json:"values"`
+}
+
+// BoundsResponse is the body of a /v1/upperbounds answer: per-facility
+// initial upper bounds, indexed like the request's facilities. Each is
+// a sound overestimate of the facility's exact service value, so a
+// scatter-gather frontend may prune on sums of them without losing
+// exactness.
+type BoundsResponse struct {
+	Bounds []float64 `json:"bounds"`
+}
+
+// ChangesResponse is the body of a /v1/changes answer: the primary's
+// replication boot identity, its newest sequence number, and the
+// ordered entries past the request's `after` cursor.
+type ChangesResponse struct {
+	BootID  string         `json:"boot_id"`
+	Seq     uint64         `json:"seq"`
+	Entries []replog.Entry `json:"entries"`
 }
 
 // InsertResponse reports the post-insert logical corpus size.
@@ -334,6 +353,12 @@ func MarshalTopKResponse(results []trajcover.Ranked) []byte {
 // handler does.
 func MarshalValuesResponse(values []float64) []byte {
 	return mustMarshal(ValuesResponse{Values: values})
+}
+
+// MarshalBoundsResponse encodes an upperbounds answer exactly as the
+// handler does.
+func MarshalBoundsResponse(bounds []float64) []byte {
+	return mustMarshal(BoundsResponse{Bounds: bounds})
 }
 
 // StreamChunk is one NDJSON line of a streamed servicevalues

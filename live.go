@@ -368,6 +368,16 @@ func (x *LiveShardedIndex) TopKParallelCtx(ctx context.Context, facilities []*Fa
 	return res, err
 }
 
+// UpperBoundsCtx seeds (without exploring) every facility's search over
+// one write-consistent epoch capture and returns the initial upper
+// bounds, indexed like facilities — each a sound overestimate of the
+// facility's exact service value, computed in one tree descent per
+// shard. The distributed query frontend scatters this before deciding
+// which facilities are worth an exact evaluation on which backend.
+func (x *LiveShardedIndex) UpperBoundsCtx(ctx context.Context, facilities []*Facility, q Query) ([]float64, error) {
+	return x.s.UpperBounds(ctx, facilities, q.params())
+}
+
 // epochs exposes the current per-shard epoch capture to the snapshot
 // writer.
 func (x *LiveShardedIndex) epochs() []*query.Epoch { return x.s.Epochs() }
